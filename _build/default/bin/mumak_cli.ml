@@ -1,0 +1,104 @@
+(* The user-facing driver — the analogue of the Bash frontend of the
+   original artifact. Analyse a named target with a generated workload and
+   print the combined bug report. *)
+
+open Cmdliner
+
+let registry_names =
+  List.map (fun (module A : Pmapps.Kv_intf.S) -> A.name) Pmapps.Registry.apps
+  @ [ "montage.hashtable"; "montage.lf_hashtable"; "pmemkv.cmap"; "pmemkv.stree";
+      "redis"; "rocksdb" ]
+
+let build_target ~name ~version ~grouped ~workload =
+  match name with
+  | "montage.hashtable" -> Some (Targets.of_montage ~variant:`Buffered ~workload ())
+  | "montage.lf_hashtable" -> Some (Targets.of_montage ~variant:`Lockfree ~workload ())
+  | "pmemkv.cmap" -> Some (Targets.of_pmemkv ~engine:Kvstores.Pmemkv.Cmap ~workload ())
+  | "pmemkv.stree" -> Some (Targets.of_pmemkv ~engine:Kvstores.Pmemkv.Stree ~workload ())
+  | "redis" -> Some (Targets.of_redis ~workload ())
+  | "rocksdb" -> Some (Targets.of_rocksdb ~workload ())
+  | app ->
+      Option.map
+        (fun m ->
+          let tx_mode = if grouped then Targets.Grouped 64 else Targets.Spt in
+          Targets.of_app m ~version ~tx_mode ~workload ())
+        (Pmapps.Registry.find app)
+
+let run name ops key_range seed version_str grouped strategy_str bugs no_warnings
+    store_level =
+  let version =
+    match version_str with
+    | "1.6" -> Pmalloc.Version.V1_6
+    | "1.8" -> Pmalloc.Version.V1_8
+    | "1.12" -> Pmalloc.Version.V1_12
+    | v -> Fmt.failwith "unknown library version %s (1.6 | 1.8 | 1.12)" v
+  in
+  let workload = Workload.standard ~ops ~key_range ~seed:(Int64.of_int seed) in
+  List.iter Bugreg.enable bugs;
+  match build_target ~name ~version ~grouped ~workload with
+  | None ->
+      Fmt.epr "unknown target %s; available: %a@." name
+        Fmt.(list ~sep:comma string)
+        registry_names;
+      exit 1
+  | Some target ->
+      let config =
+        {
+          Mumak.Config.default with
+          Mumak.Config.strategy =
+            (match strategy_str with
+            | "snapshot" -> Mumak.Config.Snapshot
+            | "reexecute" -> Mumak.Config.Reexecute
+            | s -> Fmt.failwith "unknown strategy %s (snapshot | reexecute)" s);
+          report_warnings = not no_warnings;
+          granularity =
+            (if store_level then Mumak.Config.Store_level
+             else Mumak.Config.Persistency_instruction);
+        }
+      in
+      let result = Mumak.Engine.analyze ~config target in
+      Fmt.pr "%a@." Mumak.Engine.pp_result result;
+      if Mumak.Report.bugs result.Mumak.Engine.report <> [] then exit 2
+
+let name_arg =
+  let doc = "Target application to analyse." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+
+let ops_arg = Arg.(value & opt int 600 & info [ "ops" ] ~doc:"Workload size (operations).")
+let key_range_arg =
+  Arg.(value & opt int 200 & info [ "key-range" ] ~doc:"Number of distinct keys.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+let version_arg =
+  Arg.(value & opt string "1.12" & info [ "library-version" ] ~doc:"pmalloc version.")
+let grouped_arg =
+  Arg.(value & flag & info [ "grouped" ] ~doc:"Group puts in enclosing transactions (non-SPT).")
+let strategy_arg =
+  Arg.(value & opt string "snapshot" & info [ "strategy" ] ~doc:"snapshot | reexecute.")
+let bugs_arg =
+  Arg.(value & opt_all string [] & info [ "enable-bug" ] ~doc:"Enable a seeded bug id.")
+let no_warnings_arg = Arg.(value & flag & info [ "no-warnings" ] ~doc:"Suppress warnings.")
+let store_level_arg =
+  Arg.(value & flag & info [ "store-level" ] ~doc:"Inject at every store (ablation).")
+
+let analyze_cmd =
+  let doc = "Detect crash-consistency and performance bugs in a PM application." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
+      $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg)
+
+let list_cmd =
+  let doc = "List available targets and seeded bugs." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          Fmt.pr "Targets:@.";
+          List.iter (Fmt.pr "  %s@.") registry_names;
+          Fmt.pr "@.Seeded bugs:@.";
+          List.iter (fun b -> Fmt.pr "  %a@." Bugreg.pp b) (Bugreg.all ()))
+      $ const ())
+
+let () =
+  let info = Cmd.info "mumak" ~doc:"Black-box bug detection for persistent memory" in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/ci_pipeline.ml: Bugreg Fmt List Mumak Pmalloc Pmapps String Sys Targets Workload

@@ -1,0 +1,1 @@
+examples/montage_analysis.ml: Bugreg Fmt Fun List Mumak Pmalloc Pmapps Targets Workload

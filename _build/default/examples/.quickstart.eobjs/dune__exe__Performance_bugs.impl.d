@@ -1,0 +1,1 @@
+examples/performance_bugs.ml: Bugreg Fmt Fun List Mumak Pmalloc Pmapps Targets Workload

@@ -1,0 +1,1 @@
+examples/performance_bugs.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bugreg Fmt List Mumak Pmalloc Pmapps Targets Workload

@@ -1,0 +1,47 @@
+(* Mumak as a continuous-integration gate (the deployment story of the
+   paper's conclusion): analyse every application of the suite with a small
+   workload and fail the build if any correctness bug appears.
+
+   The suite is clean by default, so this exits 0; run with MUMAK_CI_SEED_BUG
+   set to a seeded bug id to watch the gate trip.
+
+   Run with: dune exec examples/ci_pipeline.exe *)
+
+let () =
+  (match Sys.getenv_opt "MUMAK_CI_SEED_BUG" with
+  | Some bug when bug <> "" ->
+      Fmt.pr "[ci] seeding bug %s@." bug;
+      Bugreg.enable bug
+  | _ -> ());
+  let failures = ref 0 in
+  let total_wall = ref 0. in
+  List.iter
+    (fun (module A : Pmapps.Kv_intf.S) ->
+      let version =
+        if String.equal A.name "hashmap_atomic" then Pmalloc.Version.V1_6
+        else Pmalloc.Version.V1_12
+      in
+      let target =
+        Targets.of_app (module A) ~version
+          ~workload:(Workload.standard ~ops:250 ~key_range:80 ~seed:11L)
+          ()
+      in
+      let result = Mumak.Engine.analyze target in
+      let bugs = Mumak.Report.correctness_bugs result.Mumak.Engine.report in
+      let perf = Mumak.Report.performance_bugs result.Mumak.Engine.report in
+      total_wall := !total_wall +. result.Mumak.Engine.metrics.Mumak.Metrics.wall_seconds;
+      Fmt.pr "[ci] %-22s %4d failure points  %2d correctness  %2d performance  (%.2fs)@."
+        A.name result.Mumak.Engine.failure_points (List.length bugs) (List.length perf)
+        result.Mumak.Engine.metrics.Mumak.Metrics.wall_seconds;
+      if bugs <> [] then begin
+        incr failures;
+        List.iter (fun f -> Fmt.pr "      %a@." Mumak.Report.pp_finding f) bugs
+      end)
+    Pmapps.Registry.apps;
+  Fmt.pr "[ci] total analysis time: %.2fs@." !total_wall;
+  if !failures > 0 then begin
+    Fmt.pr "[ci] FAILED: %d application(s) with correctness bugs@." !failures;
+    exit 1
+  end
+  else Fmt.pr "[ci] PASSED: no correctness bugs across %d applications@."
+    (List.length Pmapps.Registry.apps)

@@ -1,0 +1,37 @@
+(* Quickstart: analyse a PM application in three steps.
+
+   1. pick a target (here: the btree data store with a seeded atomicity bug
+      enabled, so there is something to find);
+   2. generate a workload;
+   3. run the Mumak pipeline and read the report.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* the default build is clean; enable a seeded bug to have a defect *)
+  Bugreg.enable "btree_insert_no_tx";
+
+  (* a deterministic workload: equal thirds of puts, gets and deletes *)
+  let workload = Workload.standard ~ops:400 ~key_range:120 ~seed:1L in
+
+  (* wrap the application as a black-box target: Mumak only needs a way to
+     run it and its own recovery procedure *)
+  let target =
+    Targets.of_app (module Pmapps.Btree) ~version:Pmalloc.Version.V1_12 ~workload ()
+  in
+
+  (* analyse: failure-point tree, fault injection with the recovery oracle,
+     single-pass trace analysis, combined report *)
+  let result = Mumak.Engine.analyze target in
+
+  Fmt.pr "%a@." Mumak.Report.pp result.Mumak.Engine.report;
+  Fmt.pr "analysis: %d failure points, %d injections, %d trace events, %a@."
+    result.Mumak.Engine.failure_points result.Mumak.Engine.injections
+    result.Mumak.Engine.trace_events Mumak.Metrics.pp result.Mumak.Engine.metrics;
+
+  (* the seeded bug is an atomicity violation: fault injection must have
+     produced at least one unrecoverable state *)
+  let correctness = Mumak.Report.correctness_bugs result.Mumak.Engine.report in
+  Fmt.pr "@.=> %d unique correctness bug(s) found (expected: at least 1)@."
+    (List.length correctness);
+  assert (correctness <> [])

@@ -1,0 +1,1 @@
+lib/baselines/agamotto.ml: Hashtbl Kv_target List Mumak Pmem Pmtrace Tool_intf

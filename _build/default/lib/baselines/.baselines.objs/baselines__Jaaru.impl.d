@@ -1,0 +1,1 @@
+lib/baselines/jaaru.ml: Hashtbl List Mumak Pmem Pmtrace Tool_intf

@@ -1,0 +1,1 @@
+lib/baselines/kv_target.ml: Hashtbl List Mumak Pmalloc Pmapps Pmem Pmtrace Targets Workload

@@ -1,0 +1,1 @@
+lib/baselines/pmdebugger.ml: Dbi Hashtbl Int List Map Mumak Pmalloc Pmem Pmtrace Printf Tool_intf

@@ -1,0 +1,1 @@
+lib/baselines/tool_intf.ml: Mumak Pmem Pmtrace Unix

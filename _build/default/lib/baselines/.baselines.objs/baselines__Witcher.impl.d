@@ -1,0 +1,1 @@
+lib/baselines/witcher.ml: Fun Hashtbl Kv_target List Mumak Option Pmem Pmtrace Seq Tool_intf

@@ -1,0 +1,1 @@
+lib/baselines/xfdetector.ml: Dbi Fun Hashtbl List Mumak Pmem Pmtrace Tool_intf

@@ -1,0 +1,1 @@
+lib/baselines/yat.ml: Mumak Pmem Pmtrace Seq Tool_intf

@@ -1,0 +1,79 @@
+(** The richer target interface some baselines require.
+
+    Mumak's {!Mumak.Target.t} is deliberately black-box; Witcher, by
+    contrast, "requires developers to implement a driver" with key-value
+    semantics (Table 3), and Agamotto explores program paths rather than a
+    fixed execution. This record carries that extra knowledge: the concrete
+    op list, prefix execution, and a post-crash probe. *)
+
+type t = {
+  base : Mumak.Target.t;
+  ops : Workload.op list;
+  app : Pmapps.Kv_intf.app;
+  version : Pmalloc.Version.t;
+  run_prefix :
+    device:Pmem.Device.t ->
+    framer:Pmtrace.Framer.t ->
+    ?on_op:(int -> unit) ->
+    upto:int ->
+    unit ->
+    unit;
+      (** format + execute only the first [upto] operations; [on_op i]
+          fires before operation [i] *)
+  probe : Pmem.Device.t -> int64 list -> int64 option list;
+      (** library-recover the crash image and read back each key *)
+}
+
+let apply_op (type a) (module A : Pmapps.Kv_intf.S with type t = a) (app : a) op =
+  match op with
+  | Workload.Put (k, v) -> A.put app ~key:k ~value:v
+  | Workload.Get k -> ignore (A.get app ~key:k)
+  | Workload.Delete k -> ignore (A.delete app ~key:k)
+
+let make (module A : Pmapps.Kv_intf.S) ?(version = Pmalloc.Version.V1_12) ~workload () =
+  let base = Targets.of_app (module A) ~version ~workload () in
+  let run_prefix ~device ~framer ?(on_op = fun _ -> ()) ~upto () =
+    Pmtrace.Framer.with_ambient framer (fun () ->
+        let pool = Pmalloc.Pool.create ~version device in
+        let heap = Pmalloc.Alloc.attach pool in
+        let app = A.create ~framer pool heap in
+        List.iteri
+          (fun i op ->
+            if i < upto then begin
+              on_op i;
+              apply_op (module A) app op
+            end)
+          workload)
+  in
+  let probe dev keys =
+    match Pmalloc.Recovery.open_pool dev with
+    | exception Pmalloc.Pool.Corrupted _ | exception Pmalloc.Pool.Not_initialised ->
+        List.map (fun _ -> None) keys
+    | pool, heap, _ ->
+        if Pmalloc.Pool.root pool = None then List.map (fun _ -> None) keys
+        else
+          let app = A.open_existing pool heap in
+          List.map (fun key -> A.get app ~key) keys
+  in
+  { base; ops = workload; app = (module A); version; run_prefix; probe }
+
+(** The key-value state a correct execution of the first [upto] ops leaves
+    behind — the "expected output" side of Witcher's output-equivalence
+    check. *)
+let model_after ops ~upto =
+  let m = Hashtbl.create 256 in
+  List.iteri
+    (fun i op ->
+      if i < upto then
+        match op with
+        | Workload.Put (k, v) -> Hashtbl.replace m k v
+        | Workload.Delete k -> Hashtbl.remove m k
+        | Workload.Get _ -> ())
+    ops;
+  m
+
+let keys_of ops =
+  List.filter_map
+    (function Workload.Put (k, _) | Workload.Get k | Workload.Delete k -> Some k)
+    ops
+  |> List.sort_uniq compare

@@ -1,0 +1,155 @@
+(** PMDebugger-style trace analysis (ASPLOS'21).
+
+    PMDebugger rides on pmemcheck's annotations, which exist inside the PM
+    library (PMDK) — so it only works for pmalloc-backed targets, mirroring
+    its library dependence. Its data structure design: store records go
+    into a flat array for cheap insertion (most durability obligations die
+    at the nearest fence); whatever survives a fence migrates into an AVL
+    tree for cheap long-term search. The array is segmented per
+    transaction, so workloads with one big transaction carry much larger
+    arrays — exactly why the original is ~10x slower on the original
+    (grouped-transaction) data stores and fast on the SPT variants.
+
+    Detects durability and performance bugs; ordering/atomicity need
+    manual ordering annotations which the black-box setup does not have. *)
+
+let name = "PMDebugger"
+
+type store_record = { addr : int; size : int; seq : int; mutable flushed : bool }
+
+let analyze ?budget_s (target : Mumak.Target.t) =
+  let clock = Tool_intf.clock ?budget_s () in
+  let report = Mumak.Report.create ~target:target.Mumak.Target.name in
+  let timed_out = ref false in
+  (* the per-interval array (cheap insertion)... *)
+  let array : store_record list ref = ref [] in
+  let array_len = ref 0 in
+  (* ...and the long-term AVL tree (stdlib Map is an AVL) *)
+  let module M = Map.Make (Int) in
+  let avl = ref M.empty in
+  let peak = ref 0 in
+  let line_flushed = Hashtbl.create 1024 in
+  let in_tx = ref false in
+  (* end of a bookkeeping interval (fence outside tx, or tx end): flushed
+     records die, unflushed ones migrate to the AVL tree *)
+  let flush_interval () =
+    List.iter
+      (fun r ->
+        if not r.flushed then
+          List.iter
+            (fun slot -> avl := M.add slot r.seq !avl)
+            (Pmem.Addr.slots_spanned ~addr:r.addr ~size:r.size))
+      !array;
+    array := [];
+    array_len := 0
+  in
+  let add kind seq detail =
+    ignore
+      (Mumak.Report.add report
+         { Mumak.Report.kind; phase = Mumak.Report.Trace_analysis; stack = None;
+           seq = Some seq; detail })
+  in
+  let (), metrics =
+    Mumak.Metrics.measure (fun () ->
+        let listener (event : Pmtrace.Event.t) _stack =
+          if (not !timed_out) && Tool_intf.expired clock then timed_out := true;
+          if not !timed_out then begin
+            (* Valgrind translation + shadow-memory cost per access; the
+               shadow maintenance walks state proportional to the live
+               bookkeeping, so long transactions hurt quadratically *)
+            Dbi.charge ~cost:(8 * (!array_len + 4)) ();
+            let seq = event.Pmtrace.Event.seq in
+            match event.Pmtrace.Event.op with
+            | Pmem.Op.Load { addr; size } ->
+                (* pmemcheck instruments every memory access through
+                   Valgrind: each load is checked against the pending-store
+                   bookkeeping. With a large per-transaction array this scan
+                   dominates — the reason the original is an order of
+                   magnitude slower on grouped-transaction workloads. *)
+                ignore
+                  (List.exists
+                     (fun r -> addr < r.addr + r.size && r.addr < addr + size)
+                     !array)
+            | Pmem.Op.Store { addr; size; nt } ->
+                if not nt then begin
+                  array := { addr; size; seq; flushed = false } :: !array;
+                  incr array_len;
+                  peak := max !peak ((!array_len * 6) + (M.cardinal !avl * 8))
+                end
+            | Pmem.Op.Flush { line; volatile; dirty; _ } ->
+                if volatile then
+                  add Mumak.Report.Redundant_flush seq "flush of a volatile address"
+                else begin
+                  if not dirty then
+                    add Mumak.Report.Redundant_flush seq
+                      (Printf.sprintf "line %d flushed while clean" line);
+                  Hashtbl.replace line_flushed line ();
+                  (* mark covered records, scanning the array (the design's
+                     insertion-cheap / scan-at-flush trade-off) *)
+                  List.iter
+                    (fun r ->
+                      if
+                        (not r.flushed)
+                        && List.mem line (Pmem.Addr.lines_spanned ~addr:r.addr ~size:r.size)
+                      then r.flushed <- true)
+                    !array;
+                  (* and the AVL for long-lived records *)
+                  let lo = Pmem.Addr.line_base line in
+                  for a = lo / 8 to (lo + Pmem.Addr.line_size - 1) / 8 do
+                    avl := M.remove a !avl
+                  done
+                end
+            | Pmem.Op.Fence { pending_flushes; pending_nt; _ } ->
+                if pending_flushes = 0 && pending_nt = 0 then
+                  add Mumak.Report.Redundant_fence seq "fence with nothing pending";
+                (* A fence only ends the bookkeeping interval outside a
+                   transaction: pmemcheck's TX annotations delay the
+                   durability obligations to the transaction end, so one
+                   big transaction means one big array — the reason the
+                   original is ~10x slower on grouped workloads. *)
+                if not !in_tx then flush_interval ()
+          end
+        in
+        let run () =
+          let (_ : Pmem.Device.t) =
+            Tool_intf.run_instrumented ~trace_loads:true target ~listener
+          in
+          ()
+        in
+        Pmalloc.Annotations.with_hooks
+          ~on_tx_begin:(fun () -> in_tx := true)
+          ~on_tx_end:(fun () ->
+            in_tx := false;
+            flush_interval ())
+          run;
+        (* end of execution: surviving records were never made durable *)
+        List.iter
+          (fun r ->
+            if not r.flushed then
+              add Mumak.Report.Durability_bug r.seq
+                (Printf.sprintf "store at %d never flushed before the end of the run" r.addr))
+          !array;
+        M.iter
+          (fun slot seq ->
+            let line = slot * 8 / Pmem.Addr.line_size in
+            if Hashtbl.mem line_flushed line then
+              add Mumak.Report.Durability_bug seq
+                (Printf.sprintf "store to slot %d never persisted" slot)
+            else
+              add Mumak.Report.Durability_bug seq
+                (Printf.sprintf
+                   "slot %d written but never flushed (transient data, reported as \
+                    durability)"
+                   slot))
+          !avl)
+  in
+  {
+    Tool_intf.tool = name;
+    report;
+    metrics;
+    timed_out = !timed_out;
+    work_done = 1;
+    work_total = 1;
+    tracking_words = !peak;
+    pm_overhead = 1.0;
+  }

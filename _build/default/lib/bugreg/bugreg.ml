@@ -1,0 +1,80 @@
+(** Registry of seeded bugs.
+
+    Every application and library in this reproduction contains named bug
+    sites that are compiled in but disabled by default (the default build is
+    clean). Enabling a bug id makes the corresponding code path misbehave in
+    the way the published bug did. The coverage experiment (paper section
+    6.2) enables sets of bugs and measures which tools report them.
+
+    The registry is global mutable state on purpose: it plays the role of
+    "which version of the buggy source tree are we testing", which in the
+    original evaluation is fixed per run. *)
+
+type taxonomy =
+  | Durability
+  | Atomicity
+  | Ordering
+  | Redundant_flush
+  | Redundant_fence
+  | Transient_data
+
+let taxonomy_to_string = function
+  | Durability -> "durability"
+  | Atomicity -> "atomicity"
+  | Ordering -> "ordering"
+  | Redundant_flush -> "redundant-flush"
+  | Redundant_fence -> "redundant-fence"
+  | Transient_data -> "transient-data"
+
+let is_correctness = function
+  | Durability | Atomicity | Ordering -> true
+  | Redundant_flush | Redundant_fence | Transient_data -> false
+
+type t = {
+  id : string;
+  component : string;  (** library or application containing the bug *)
+  taxonomy : taxonomy;
+  description : string;
+  detectors : string list;
+      (** ground truth: the tools whose published approach finds this class
+          of bug at this site (used to score coverage) *)
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let enabled_set : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let register ~id ~component ~taxonomy ~description ~detectors =
+  if Hashtbl.mem registry id then invalid_arg ("Bugreg.register: duplicate id " ^ id);
+  let bug = { id; component; taxonomy; description; detectors } in
+  Hashtbl.replace registry id bug;
+  bug
+
+let find id = Hashtbl.find_opt registry id
+let all () =
+  Hashtbl.fold (fun _ b acc -> b :: acc) registry []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let enable id =
+  if not (Hashtbl.mem registry id) then invalid_arg ("Bugreg.enable: unknown bug " ^ id);
+  Hashtbl.replace enabled_set id ()
+
+let disable id = Hashtbl.remove enabled_set id
+let disable_all () = Hashtbl.reset enabled_set
+let enabled id = Hashtbl.mem enabled_set id
+let enabled_ids () = Hashtbl.fold (fun id () acc -> id :: acc) enabled_set [] |> List.sort compare
+
+(** [with_enabled ids f] runs [f] with exactly [ids] enabled, restoring the
+    previous enable-set afterwards. *)
+let with_enabled ids f =
+  let saved = enabled_ids () in
+  disable_all ();
+  List.iter enable ids;
+  Fun.protect
+    ~finally:(fun () ->
+      disable_all ();
+      List.iter enable saved)
+    f
+
+let pp ppf b =
+  Fmt.pf ppf "%-28s %-12s %-14s %s" b.id b.component (taxonomy_to_string b.taxonomy)
+    b.description

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Config Fault_injection Fmt Fp_tree Hashtbl List Metrics Oracle Pmem Pmtrace Report Target Trace_analysis

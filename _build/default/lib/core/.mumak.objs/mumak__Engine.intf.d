@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Format Hashtbl Metrics Pmem Pmtrace Report Target

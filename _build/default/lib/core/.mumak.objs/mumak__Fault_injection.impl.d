@@ -1,0 +1,1 @@
+lib/core/fault_injection.ml: Config Fp_tree Fun List Oracle Pmem Pmtrace Target

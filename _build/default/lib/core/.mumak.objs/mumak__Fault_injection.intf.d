@@ -1,0 +1,1 @@
+lib/core/fault_injection.mli: Config Fp_tree Oracle Pmem Pmtrace Target

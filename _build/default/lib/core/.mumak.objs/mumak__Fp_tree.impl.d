@@ -1,0 +1,1 @@
+lib/core/fp_tree.ml: Buffer List Option Pmtrace String

@@ -1,0 +1,1 @@
+lib/core/fp_tree.mli: Pmtrace

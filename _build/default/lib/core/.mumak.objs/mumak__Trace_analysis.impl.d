@@ -1,0 +1,1 @@
+lib/core/trace_analysis.ml: Config Hashtbl List Pmem Pmtrace Printf Report

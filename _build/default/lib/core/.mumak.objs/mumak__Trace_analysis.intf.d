@@ -1,0 +1,1 @@
+lib/core/trace_analysis.mli: Config Pmtrace Report

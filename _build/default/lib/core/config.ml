@@ -1,0 +1,48 @@
+(** Analysis configuration. The defaults match the paper's design choices;
+    the alternatives exist for the ablation benchmarks. *)
+
+type granularity =
+  | Persistency_instruction
+      (** failure points at flushes/fences only (the paper's choice) *)
+  | Store_level  (** failure points at every PM store (the ablation) *)
+
+type strategy =
+  | Snapshot
+      (** capture the crash image at first visit during a single execution
+          (simulator-only optimisation) *)
+  | Reexecute
+      (** re-run the workload once per failure point, as the original Mumak
+          does (cost-faithful; used by the benchmarks) *)
+
+type t = {
+  granularity : granularity;
+  strategy : strategy;
+  report_warnings : bool;  (** include the warning classes in the report *)
+  resolve_stacks : bool;
+      (** run the extra minimally-instrumented execution that attaches call
+          stacks to trace-analysis findings (paper section 5) *)
+  detect_dirty_overwrites : bool;
+      (** also flag stores overwriting unpersisted data (off by default: in
+          undo-logged code this pattern is routine inside transactions) *)
+  eadr : bool;
+      (** analyse for an eADR platform (persistence domain extends to the
+          CPU caches, paper sections 2 and 4.3): fault injection is
+          unchanged — atomicity/ordering bugs survive eADR — but the trace
+          analysis stops reporting unflushed stores as durability bugs *)
+  max_failure_points : int option;  (** cap for very large targets *)
+}
+
+let default =
+  {
+    granularity = Persistency_instruction;
+    strategy = Snapshot;
+    report_warnings = true;
+    resolve_stacks = true;
+    detect_dirty_overwrites = false;
+    eadr = false;
+    max_failure_points = None;
+  }
+
+(** The configuration the benchmarks use to mirror the original system's
+    cost model. *)
+let faithful = { default with strategy = Reexecute }

@@ -1,0 +1,26 @@
+(** The Mumak pipeline (paper Figure 1): instrument, execute, inject faults
+    with the recovery oracle, analyse the trace, and emit one combined
+    report of unique bugs and warnings. *)
+
+type result = {
+  report : Report.t;
+  failure_points : int;  (** unique leaves of the failure-point tree *)
+  injections : int;  (** faults injected (= recoveries run) *)
+  executions : int;  (** instrumented workload executions performed *)
+  trace_events : int;  (** PM instructions observed *)
+  pm_stats : Pmem.Stats.t;
+  metrics : Metrics.t;  (** total resource usage *)
+  fi_metrics : Metrics.t;  (** fault-injection phase *)
+  ta_metrics : Metrics.t;  (** trace-analysis phase *)
+}
+
+val resolve_stacks :
+  Target.t -> wanted:int list -> (int, Pmtrace.Callstack.capture) Hashtbl.t
+(** Re-run the target once with minimal instrumentation to attach call
+    stacks to findings identified by instruction counter (the optimisation
+    of paper section 5). *)
+
+val analyze : ?config:Config.t -> Target.t -> result
+(** Run the full pipeline on a black-box target. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,146 @@
+(** Fault injection (paper section 4.1): crash the workload once per unique
+    failure point, run the application's own recovery on the resulting
+    program-order-prefix image, and report the states recovery cannot
+    handle.
+
+    A failure point is a persistency instruction (flush or fence) reached
+    through a unique call stack, and only counts if at least one PM store
+    happened since the previous failure point (equivalent post-failure
+    states are skipped). The [Store_level] granularity — every store is a
+    failure point — exists for the ablation study and mirrors what
+    XFDetector-style tools pay. *)
+
+type record = {
+  point : Fp_tree.point;
+  oracle : Oracle.outcome;
+}
+
+type result = {
+  tree : Fp_tree.t;
+  records : record list;
+  executions : int; (* workload executions performed *)
+}
+
+exception Crash_now
+
+(* Shared failure-point detector: calls [on_fp] with the captured stack at
+   every failure point, honouring granularity and the store-since guard. *)
+let fp_listener ~granularity ~on_fp =
+  let stores_since = ref 0 in
+  fun (event : Pmtrace.Event.t) (stack : Pmtrace.Callstack.t) ->
+    match event.Pmtrace.Event.op with
+    | Pmem.Op.Load _ -> ()
+    | Pmem.Op.Store _ -> (
+        incr stores_since;
+        match granularity with
+        | Config.Store_level -> on_fp (Pmtrace.Callstack.capture stack)
+        | Config.Persistency_instruction -> ())
+    | Pmem.Op.Flush _ | Pmem.Op.Fence _ -> (
+        match granularity with
+        | Config.Persistency_instruction ->
+            if !stores_since > 0 then begin
+              stores_since := 0;
+              on_fp (Pmtrace.Callstack.capture stack)
+            end
+        | Config.Store_level -> ())
+
+let under_cap config tree =
+  match config.Config.max_failure_points with
+  | None -> true
+  | Some cap -> Fp_tree.size tree < cap
+
+(** Build the failure-point tree with one instrumented execution (steps 4-5
+    of Figure 1). [extra_listener] lets the engine run the trace-analysis
+    feed on the same execution. *)
+let build_tree ?(extra_listener = fun _ _ -> ()) config (target : Target.t) =
+  let tree = Fp_tree.create () in
+  let device = Pmem.Device.create ~eadr:config.Config.eadr ~size:target.Target.pool_size () in
+  let tracer = Pmtrace.Tracer.create ~collect:false device in
+  let detect =
+    fp_listener ~granularity:config.Config.granularity ~on_fp:(fun capture ->
+        if under_cap config tree then ignore (Fp_tree.insert tree capture))
+  in
+  Pmtrace.Tracer.add_listener tracer (fun event stack ->
+      extra_listener event stack;
+      detect event stack);
+  target.Target.run ~device ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer));
+  Pmtrace.Tracer.detach tracer;
+  (tree, Pmem.Device.stats device)
+
+(* One injection execution: crash at the first unvisited failure point.
+   Returns the injected point and its crash image, or None if every
+   failure point reached was already visited. *)
+let reexecute_once config (target : Target.t) tree =
+  let device = Pmem.Device.create ~eadr:config.Config.eadr ~size:target.Target.pool_size () in
+  let tracer = Pmtrace.Tracer.create ~collect:false device in
+  let injected = ref None in
+  Pmtrace.Tracer.add_listener tracer
+    (fp_listener ~granularity:config.Config.granularity ~on_fp:(fun capture ->
+         if !injected = None then
+           match Fp_tree.find tree capture with
+           | Some point when not point.Fp_tree.visited ->
+               point.Fp_tree.visited <- true;
+               (* the image is captured here, before the crash unwinds, so
+                  cleanup code cannot pollute the post-failure state *)
+               injected :=
+                 Some (point, Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix);
+               raise Crash_now
+           | Some _ | None -> ()));
+  (try
+     target.Target.run ~device
+       ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer))
+   with
+  | Crash_now -> ()
+  | Fun.Finally_raised Crash_now -> ()
+  | _ when !injected <> None ->
+      (* unwinding code (e.g. a transaction abort) may fail after the
+         simulated crash; the run is over either way *)
+      ());
+  Pmtrace.Tracer.detach tracer;
+  !injected
+
+(** The paper's injection loop: re-execute the workload until every leaf of
+    the tree is visited, injecting one fault per execution (steps 6-9 of
+    Figure 1, [Config.Reexecute]). *)
+let inject_reexecute config (target : Target.t) tree =
+  let records = ref [] and executions = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && Fp_tree.unvisited_count tree > 0 do
+    incr executions;
+    match reexecute_once config target tree with
+    | None -> continue_ := false (* nondeterminism guard: no progress *)
+    | Some (point, image) ->
+        let oracle = Oracle.classify target.Target.recover (Pmem.Device.of_image ~eadr:config.Config.eadr image) in
+        records := { point; oracle } :: !records
+  done;
+  { tree; records = List.rev !records; executions = !executions }
+
+(** Simulator-only optimisation ([Config.Snapshot]): a single execution in
+    which each new failure point immediately snapshots its crash image and
+    runs recovery on a copy. Detects exactly the same bugs. *)
+let inject_snapshot ?(extra_listener = fun _ _ -> ()) config (target : Target.t) =
+  let tree = Fp_tree.create () in
+  let records = ref [] in
+  let device = Pmem.Device.create ~eadr:config.Config.eadr ~size:target.Target.pool_size () in
+  let tracer = Pmtrace.Tracer.create ~collect:false device in
+  let detect =
+    fp_listener ~granularity:config.Config.granularity ~on_fp:(fun capture ->
+        if under_cap config tree then
+          match Fp_tree.insert tree capture with
+          | `Existing _ -> ()
+          | `Added point ->
+              point.Fp_tree.visited <- true;
+              let image = Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix in
+              let oracle =
+                Oracle.classify target.Target.recover (Pmem.Device.of_image ~eadr:config.Config.eadr image)
+              in
+              records := { point; oracle } :: !records)
+  in
+  Pmtrace.Tracer.add_listener tracer (fun event stack ->
+      extra_listener event stack;
+      detect event stack);
+  target.Target.run ~device ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer));
+  Pmtrace.Tracer.detach tracer;
+  { tree; records = List.rev !records; executions = 1 }
+
+let bug_records result = List.filter (fun r -> Oracle.is_bug r.oracle) result.records

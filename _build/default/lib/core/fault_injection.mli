@@ -1,0 +1,55 @@
+(** Fault injection (paper section 4.1): crash the workload once per unique
+    failure point, run the application's own recovery on the resulting
+    program-order-prefix image, and report the states recovery cannot
+    handle.
+
+    A failure point is a persistency instruction (flush or fence) reached
+    through a unique call stack, counted only when at least one PM store
+    happened since the previous failure point. [Config.Store_level]
+    granularity — every store a failure point — exists for the ablation
+    study. *)
+
+type record = { point : Fp_tree.point; oracle : Oracle.outcome }
+
+type result = {
+  tree : Fp_tree.t;
+  records : record list;
+  executions : int;  (** workload executions performed *)
+}
+
+exception Crash_now
+(** Raised from the instrumentation hook to simulate the crash; the image
+    is captured before raising, so unwinding code cannot pollute it. *)
+
+val fp_listener :
+  granularity:Config.granularity ->
+  on_fp:(Pmtrace.Callstack.capture -> unit) ->
+  Pmtrace.Event.t ->
+  Pmtrace.Callstack.t ->
+  unit
+(** The shared failure-point detector (stateful: create one per
+    execution). *)
+
+val build_tree :
+  ?extra_listener:(Pmtrace.Event.t -> Pmtrace.Callstack.t -> unit) ->
+  Config.t ->
+  Target.t ->
+  Fp_tree.t * Pmem.Stats.t
+(** One instrumented execution building the failure-point tree (steps 4–5
+    of Figure 1). [extra_listener] lets the engine stream the trace
+    analysis off the same execution. *)
+
+val inject_reexecute : Config.t -> Target.t -> Fp_tree.t -> result
+(** The paper's injection loop: re-execute the workload until every leaf is
+    visited, one fault per execution (steps 6–9 of Figure 1). *)
+
+val inject_snapshot :
+  ?extra_listener:(Pmtrace.Event.t -> Pmtrace.Callstack.t -> unit) ->
+  Config.t ->
+  Target.t ->
+  result
+(** Simulator-only optimisation: a single execution in which each new
+    failure point immediately snapshots its crash image and recovers on a
+    copy. Detects exactly the same bugs (asserted by tests). *)
+
+val bug_records : result -> record list

@@ -1,0 +1,112 @@
+(** The failure-point tree (paper section 4.1 and Figure 2).
+
+    Each root-to-leaf path is a unique call stack leading to a failure
+    point; a leaf additionally carries the per-frame instruction index that
+    distinguishes, say, line 2 from line 3 of the same function. One fault
+    is injected per leaf. The tree both deduplicates code paths and makes
+    the membership test during the injection phase cheap (the search-heavy
+    operation, as the paper notes).
+
+    The tree serialises to a plain text format — the analogue of the file
+    Mumak passes between the tree-construction and injection executions. *)
+
+type point = {
+  capture : Pmtrace.Callstack.capture;
+  mutable visited : bool;
+  ordinal : int; (* discovery order, stable across runs *)
+}
+
+type node = {
+  mutable children : (string * node) list;
+  mutable points : (int * point) list; (* keyed by op_index *)
+}
+
+type t = { root : node; mutable size : int }
+
+let create_node () = { children = []; points = [] }
+let create () = { root = create_node (); size = 0 }
+let size t = t.size
+
+let rec find_node node = function
+  | [] -> Some node
+  | label :: rest ->
+      Option.bind (List.assoc_opt label node.children) (fun child -> find_node child rest)
+
+let rec ensure_node node = function
+  | [] -> node
+  | label :: rest ->
+      let child =
+        match List.assoc_opt label node.children with
+        | Some c -> c
+        | None ->
+            let c = create_node () in
+            node.children <- (label, c) :: node.children;
+            c
+      in
+      ensure_node child rest
+
+(** [insert t capture] adds a failure point if its path is new. Returns
+    [`Added p] for a fresh point and [`Existing p] otherwise. *)
+let insert t capture =
+  let node = ensure_node t.root capture.Pmtrace.Callstack.path in
+  match List.assoc_opt capture.Pmtrace.Callstack.op_index node.points with
+  | Some p -> `Existing p
+  | None ->
+      let p = { capture; visited = false; ordinal = t.size } in
+      node.points <- (capture.Pmtrace.Callstack.op_index, p) :: node.points;
+      t.size <- t.size + 1;
+      `Added p
+
+(** [find t capture] looks a failure point up without modifying the tree —
+    the hot operation of the injection phase. *)
+let find t capture =
+  Option.bind
+    (find_node t.root capture.Pmtrace.Callstack.path)
+    (fun node -> List.assoc_opt capture.Pmtrace.Callstack.op_index node.points)
+
+let iter t f =
+  let rec go node =
+    List.iter (fun (_, p) -> f p) node.points;
+    List.iter (fun (_, child) -> go child) node.children
+  in
+  go t.root
+
+let unvisited_count t =
+  let n = ref 0 in
+  iter t (fun p -> if not p.visited then incr n);
+  !n
+
+let points t =
+  let acc = ref [] in
+  iter t (fun p -> acc := p :: !acc);
+  List.sort (fun a b -> compare a.ordinal b.ordinal) !acc
+
+(** {1 Serialization} — one line per failure point. *)
+
+let serialize t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int p.capture.Pmtrace.Callstack.op_index);
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (String.concat ">" p.capture.Pmtrace.Callstack.path);
+      Buffer.add_char buf '\n')
+    (points t);
+  Buffer.contents buf
+
+let deserialize s =
+  let t = create () in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         if String.length line > 0 then
+           match String.index_opt line '|' with
+           | None -> invalid_arg "Fp_tree.deserialize: missing separator"
+           | Some i ->
+               let op_index = int_of_string (String.sub line 0 i) in
+               let path =
+                 String.sub line (i + 1) (String.length line - i - 1)
+                 |> String.split_on_char '>'
+                 |> List.filter (fun s -> s <> "")
+               in
+               ignore (insert t { Pmtrace.Callstack.path; op_index }));
+  t

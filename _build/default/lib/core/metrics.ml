@@ -1,0 +1,49 @@
+(** Resource accounting for the evaluation (Table 2): wall-clock time, CPU
+    load, and memory high-water marks.
+
+    RAM is approximated by the OCaml heap growth and total allocation during
+    the measured section — the analogue of peak RSS overhead; PM usage comes
+    from the device counters. *)
+
+type t = {
+  wall_seconds : float;
+  cpu_seconds : float;
+  allocated_bytes : float; (* total bytes allocated during the section *)
+  heap_growth_words : int; (* major-heap growth during the section *)
+}
+
+let cpu_load t = if t.wall_seconds > 0. then t.cpu_seconds /. t.wall_seconds else 0.
+
+let measure f =
+  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+  let alloc0 = Gc.allocated_bytes () in
+  let heap0 = (Gc.quick_stat ()).Gc.heap_words in
+  let result = f () in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  let alloc = Gc.allocated_bytes () -. alloc0 in
+  let heap = (Gc.quick_stat ()).Gc.heap_words - heap0 in
+  ( result,
+    {
+      wall_seconds = wall;
+      cpu_seconds = cpu;
+      allocated_bytes = alloc;
+      heap_growth_words = max 0 heap;
+    } )
+
+let zero =
+  { wall_seconds = 0.; cpu_seconds = 0.; allocated_bytes = 0.; heap_growth_words = 0 }
+
+let add a b =
+  {
+    wall_seconds = a.wall_seconds +. b.wall_seconds;
+    cpu_seconds = a.cpu_seconds +. b.cpu_seconds;
+    allocated_bytes = a.allocated_bytes +. b.allocated_bytes;
+    heap_growth_words = a.heap_growth_words + b.heap_growth_words;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "wall=%.3fs cpu=%.3fs load=%.2f alloc=%.1fMB heap+=%.1fMB" t.wall_seconds
+    t.cpu_seconds (cpu_load t)
+    (t.allocated_bytes /. 1048576.)
+    (float_of_int (t.heap_growth_words * 8) /. 1048576.)

@@ -1,0 +1,23 @@
+(** Recovery-as-oracle (paper section 4.1): classify what happened when the
+    application's own recovery procedure ran against a crash image. *)
+
+type outcome =
+  | Consistent  (** recovery succeeded: the state is valid (or was repaired) *)
+  | Unrecoverable of string
+      (** recovery completed but deemed the state beyond repair *)
+  | Crashed of string
+      (** recovery itself died (the segfault-in-recovery analogue); carries
+          the exception text *)
+
+let classify recover dev =
+  match recover dev with
+  | Ok () -> Consistent
+  | Error msg -> Unrecoverable msg
+  | exception e -> Crashed (Printexc.to_string e)
+
+let is_bug = function Consistent -> false | Unrecoverable _ | Crashed _ -> true
+
+let to_string = function
+  | Consistent -> "consistent"
+  | Unrecoverable m -> "unrecoverable: " ^ m
+  | Crashed m -> "recovery crashed: " ^ m

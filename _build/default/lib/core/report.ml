@@ -1,0 +1,97 @@
+(** Bug reports: unique findings with the code path that leads to them
+    (Table 3's ergonomics criteria: complete bug path, unique bugs only). *)
+
+type kind =
+  | Unrecoverable_state  (** fault injection: recovery rejected the state *)
+  | Recovery_crash  (** fault injection: recovery itself crashed *)
+  | Durability_bug  (** trace analysis: store never persisted *)
+  | Redundant_flush
+  | Redundant_fence
+  | Dirty_overwrite
+  | Transient_data_warning
+  | Multi_store_flush_warning
+  | Unordered_flushes_warning
+
+let kind_is_warning = function
+  | Transient_data_warning | Multi_store_flush_warning | Unordered_flushes_warning -> true
+  | Unrecoverable_state | Recovery_crash | Durability_bug | Redundant_flush
+  | Redundant_fence | Dirty_overwrite -> false
+
+let kind_is_correctness = function
+  | Unrecoverable_state | Recovery_crash | Durability_bug | Dirty_overwrite -> true
+  | Redundant_flush | Redundant_fence | Transient_data_warning | Multi_store_flush_warning
+  | Unordered_flushes_warning -> false
+
+let kind_to_string = function
+  | Unrecoverable_state -> "unrecoverable state"
+  | Recovery_crash -> "recovery crash"
+  | Durability_bug -> "durability bug"
+  | Redundant_flush -> "redundant flush"
+  | Redundant_fence -> "redundant fence"
+  | Dirty_overwrite -> "dirty overwrite"
+  | Transient_data_warning -> "transient data (warning)"
+  | Multi_store_flush_warning -> "multi-store flush (warning)"
+  | Unordered_flushes_warning -> "unordered flushes (warning)"
+
+type phase = Fault_injection | Trace_analysis
+
+type finding = {
+  kind : kind;
+  phase : phase;
+  stack : Pmtrace.Callstack.capture option;  (** code path to the bug *)
+  seq : int option;  (** instruction counter of the offending instruction *)
+  detail : string;
+}
+
+type t = {
+  target : string;
+  mutable findings : finding list; (* newest first *)
+  dedup : (string, unit) Hashtbl.t;
+}
+
+let create ~target = { target; findings = []; dedup = Hashtbl.create 64 }
+
+(* Uniqueness: same kind reached through the same code path is the same
+   bug, regardless of how many dynamic instances the workload produced. *)
+let finding_key f =
+  let stack =
+    match f.stack with
+    | Some c -> Pmtrace.Callstack.capture_to_string c
+    | None -> Printf.sprintf "seq:%s" (match f.seq with Some s -> string_of_int s | None -> f.detail)
+  in
+  kind_to_string f.kind ^ "@" ^ stack
+
+(** [add t f] records [f] unless an equivalent finding is already present.
+    Returns true when the finding was new. *)
+let add t f =
+  let key = finding_key f in
+  if Hashtbl.mem t.dedup key then false
+  else begin
+    Hashtbl.replace t.dedup key ();
+    t.findings <- f :: t.findings;
+    true
+  end
+
+let findings t = List.rev t.findings
+let bugs t = List.filter (fun f -> not (kind_is_warning f.kind)) (findings t)
+let warnings t = List.filter (fun f -> kind_is_warning f.kind) (findings t)
+let correctness_bugs t = List.filter (fun f -> kind_is_correctness f.kind) (bugs t)
+let performance_bugs t = List.filter (fun f -> not (kind_is_correctness f.kind)) (bugs t)
+
+let merge ~into src = List.iter (fun f -> ignore (add into f)) (findings src)
+
+let pp_finding ppf f =
+  Fmt.pf ppf "[%s] %s: %s%s"
+    (match f.phase with Fault_injection -> "FI" | Trace_analysis -> "TA")
+    (kind_to_string f.kind) f.detail
+    (match f.stack with
+    | Some c -> "\n    at " ^ Pmtrace.Callstack.capture_to_string c
+    | None -> (
+        match f.seq with Some s -> Printf.sprintf "\n    at instruction #%d" s | None -> ""))
+
+let pp ppf t =
+  let bugs = bugs t and warnings = warnings t in
+  Fmt.pf ppf "=== Mumak report for %s ===@." t.target;
+  Fmt.pf ppf "%d unique bug(s), %d warning(s)@." (List.length bugs) (List.length warnings);
+  List.iter (fun f -> Fmt.pf ppf "%a@." pp_finding f) bugs;
+  List.iter (fun f -> Fmt.pf ppf "%a@." pp_finding f) warnings

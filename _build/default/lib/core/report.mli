@@ -1,0 +1,46 @@
+(** Bug reports: unique findings with the code path that leads to them
+    (Table 3's ergonomics criteria: complete bug path, unique bugs only). *)
+
+type kind =
+  | Unrecoverable_state  (** fault injection: recovery rejected the state *)
+  | Recovery_crash  (** fault injection: recovery itself crashed *)
+  | Durability_bug  (** trace analysis: store never persisted *)
+  | Redundant_flush
+  | Redundant_fence
+  | Dirty_overwrite
+  | Transient_data_warning
+  | Multi_store_flush_warning
+  | Unordered_flushes_warning
+
+val kind_is_warning : kind -> bool
+val kind_is_correctness : kind -> bool
+val kind_to_string : kind -> string
+
+type phase = Fault_injection | Trace_analysis
+
+type finding = {
+  kind : kind;
+  phase : phase;
+  stack : Pmtrace.Callstack.capture option;  (** code path to the bug *)
+  seq : int option;  (** instruction counter of the offending instruction *)
+  detail : string;
+}
+
+type t
+
+val create : target:string -> t
+
+val add : t -> finding -> bool
+(** Record a finding unless an equivalent one (same kind, same code path)
+    is already present; returns whether it was new. *)
+
+val findings : t -> finding list
+val bugs : t -> finding list
+val warnings : t -> finding list
+val correctness_bugs : t -> finding list
+val performance_bugs : t -> finding list
+
+val merge : into:t -> t -> unit
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp : Format.formatter -> t -> unit

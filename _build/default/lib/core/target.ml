@@ -1,0 +1,31 @@
+(** The black-box application abstraction Mumak analyses.
+
+    A target is exactly what the paper's pipeline takes as input: an
+    application "binary" (here: a closure that formats a pool and drives the
+    whole workload against a device) plus the application's own recovery
+    procedure. Nothing else about the application is known — no semantics,
+    no annotations. Determinism of [run] is required for reproducible fault
+    injection (the paper neutralises randomness in the same way, section 5). *)
+
+type t = {
+  name : string;
+  pool_size : int;
+  loc : int;
+      (** rough size of the target's codebase in source lines, metadata for
+          the scalability experiment (Figure 5) *)
+  run : device:Pmem.Device.t -> framer:Pmtrace.Framer.t -> unit;
+      (** format the pool and execute the full workload; must be
+          deterministic *)
+  recover : Pmem.Device.t -> (unit, string) result;
+      (** the application's recovery procedure, used as the consistency
+          oracle: [Error] = state deemed unrecoverable; exceptions = the
+          recovery itself crashed *)
+}
+
+let make ~name ~pool_size ?(loc = 0) ~run ~recover () =
+  (* Install the framer as ambient for the duration of the run, so library
+     internals (allocator, logs) can announce their loop bodies too. *)
+  let run ~device ~framer =
+    Pmtrace.Framer.with_ambient framer (fun () -> run ~device ~framer)
+  in
+  { name; pool_size; loc; run; recover }

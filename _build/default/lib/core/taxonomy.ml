@@ -1,0 +1,133 @@
+(** The PM bug taxonomy of paper section 2, and the tool-capability matrix
+    of Table 1. *)
+
+type bug_class =
+  | Durability
+  | Atomicity
+  | Ordering
+  | Redundant_flush
+  | Redundant_fence
+  | Transient_data
+
+let all_classes =
+  [ Durability; Atomicity; Ordering; Redundant_flush; Redundant_fence; Transient_data ]
+
+let class_to_string = function
+  | Durability -> "Durability"
+  | Atomicity -> "Atomicity"
+  | Ordering -> "Ordering"
+  | Redundant_flush -> "Redundant Flush"
+  | Redundant_fence -> "Redundant Fence"
+  | Transient_data -> "Transient Data"
+
+let is_correctness = function
+  | Durability | Atomicity | Ordering -> true
+  | Redundant_flush | Redundant_fence | Transient_data -> false
+
+(** How a tool supports a capability: natively, only with manual
+    annotations, or conflated with another class (pmemcheck and
+    PMDebugger report transient data as durability bugs). *)
+type support = No | Yes | With_annotations | Conflated
+
+type tool_profile = {
+  tool : string;
+  coverage : (bug_class * support) list;
+  application_agnostic : bool;
+  library_agnostic : bool;
+}
+
+(** Table 1, row by row. *)
+let table1 : tool_profile list =
+  let c cls s = (cls, s) in
+  [
+    {
+      tool = "pmemcheck";
+      coverage =
+        [ c Durability With_annotations; c Redundant_flush Yes; c Transient_data Conflated ];
+      application_agnostic = false;
+      library_agnostic = false;
+    };
+    {
+      tool = "PMTest";
+      coverage =
+        [ c Durability With_annotations; c Atomicity With_annotations;
+          c Ordering With_annotations; c Redundant_flush Yes ];
+      application_agnostic = false;
+      library_agnostic = false;
+    };
+    {
+      tool = "XFDetector";
+      coverage =
+        [ c Durability With_annotations; c Atomicity With_annotations;
+          c Ordering With_annotations; c Redundant_flush Yes; c Redundant_fence Yes ];
+      application_agnostic = false;
+      library_agnostic = false;
+    };
+    {
+      tool = "PMDebugger";
+      coverage =
+        [ c Durability Yes; c Atomicity With_annotations; c Ordering With_annotations;
+          c Redundant_flush Yes; c Transient_data Conflated ];
+      application_agnostic = false;
+      library_agnostic = false;
+    };
+    {
+      tool = "Yat";
+      coverage = [ c Durability Yes; c Atomicity Yes; c Ordering Yes ];
+      application_agnostic = false;
+      library_agnostic = false;
+    };
+    {
+      tool = "Jaaru";
+      coverage = [ c Durability Yes; c Atomicity Yes; c Ordering Yes ];
+      application_agnostic = true;
+      library_agnostic = true;
+    };
+    {
+      tool = "Agamotto";
+      coverage =
+        [ c Durability Yes; c Atomicity With_annotations (* PMDK TXs *);
+          c Redundant_flush Yes; c Redundant_fence Yes; c Transient_data Conflated ];
+      application_agnostic = true;
+      library_agnostic = false;
+    };
+    {
+      tool = "Witcher";
+      coverage =
+        [ c Durability Yes; c Atomicity Yes; c Ordering Yes; c Redundant_flush Yes;
+          c Redundant_fence Yes ];
+      application_agnostic = false;
+      library_agnostic = true;
+    };
+    {
+      tool = "Mumak";
+      coverage =
+        [ c Durability Yes; c Atomicity Yes; c Ordering Yes; c Redundant_flush Yes;
+          c Redundant_fence Yes; c Transient_data Yes ];
+      application_agnostic = true;
+      library_agnostic = true;
+    };
+  ]
+
+let support_to_string = function
+  | No -> ""
+  | Yes -> "Y"
+  | With_annotations -> "Y*"
+  | Conflated -> "Y+"
+
+let pp_table1 ppf () =
+  Fmt.pf ppf "%-12s" "Tool";
+  List.iter (fun cls -> Fmt.pf ppf " %-16s" (class_to_string cls)) all_classes;
+  Fmt.pf ppf " %-9s %-8s@." "App-agn." "Lib-agn.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%-12s" p.tool;
+      List.iter
+        (fun cls ->
+          let s = Option.value ~default:No (List.assoc_opt cls p.coverage) in
+          Fmt.pf ppf " %-16s" (support_to_string s))
+        all_classes;
+      Fmt.pf ppf " %-9s %-8s@."
+        (if p.application_agnostic then "Y" else "")
+        (if p.library_agnostic then "Y" else ""))
+    table1

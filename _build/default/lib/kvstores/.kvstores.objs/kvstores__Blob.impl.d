@@ -1,0 +1,1 @@
+lib/kvstores/blob.ml: Bytes Char Int64 Pmalloc Printf String

@@ -1,0 +1,1 @@
+lib/kvstores/pmemkv.ml: Blob Int64 Option Pmalloc Pmtrace Printf String

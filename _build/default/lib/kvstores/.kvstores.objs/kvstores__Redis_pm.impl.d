@@ -1,0 +1,1 @@
+lib/kvstores/redis_pm.ml: Blob Int64 Option Pmalloc Pmtrace Printf String

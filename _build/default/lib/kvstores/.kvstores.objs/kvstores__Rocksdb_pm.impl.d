@@ -1,0 +1,1 @@
+lib/kvstores/rocksdb_pm.ml: Blob Buffer Bytes Hashtbl Int64 List Option Pmalloc Pmtrace Printf String

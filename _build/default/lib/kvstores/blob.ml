@@ -1,0 +1,33 @@
+(** Length-prefixed byte blobs in a pool: the string storage primitive the
+    pmemkv/Redis/RocksDB ports share. Layout: length (8 bytes) then the
+    payload, chunk-allocated. *)
+
+let alloc_write pool heap s =
+  let len = String.length s in
+  let addr = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(8 + len) in
+  Pmalloc.Pool.write_i64 pool ~off:addr (Int64.of_int len);
+  if len > 0 then Pmalloc.Pool.write_bytes pool ~off:(addr + 8) (Bytes.of_string s);
+  Pmalloc.Pool.persist pool ~off:addr ~size:(8 + len);
+  addr
+
+let read pool addr =
+  let len = Int64.to_int (Pmalloc.Pool.read_i64 pool ~off:addr) in
+  if len < 0 || len > Pmalloc.Pool.size pool then
+    raise (Pmalloc.Pool.Corrupted (Printf.sprintf "blob at %d: bad length %d" addr len));
+  if len = 0 then "" else Bytes.to_string (Pmalloc.Pool.read_bytes pool ~off:(addr + 8) ~len)
+
+let free pool heap addr =
+  ignore pool;
+  Pmalloc.Alloc.free heap addr
+
+(* FNV-1a over a string, for bucket selection. *)
+let hash s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let bucket_of s nbuckets =
+  Int64.to_int (Int64.rem (Int64.logand (hash s) Int64.max_int) (Int64.of_int nbuckets))

@@ -1,0 +1,249 @@
+(** pmemkv-style key/value engines with string keys and values.
+
+    Two persistent engines behind one interface, like the original's
+    [cmap] and [stree]:
+    - {b cmap}: a chained hash map whose entries hold blob pointers;
+      mutations run inside undo-log transactions;
+    - {b stree}: a sorted singly-linked structure (the sorted engine),
+      insertion keeps key order, also transactional.
+
+    Both recover through the pool machinery plus an engine-specific
+    structural pass. *)
+
+type engine = Cmap | Stree
+
+let engine_name = function Cmap -> "cmap" | Stree -> "stree"
+
+let nbuckets = 512
+let meta_bytes = 64
+let entry_bytes = 64 (* key blob, value blob, next *)
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int;
+  engine : engine;
+  framer : Pmtrace.Framer.t;
+}
+
+let min_pool_size = 1 lsl 22
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+
+(* meta: engine tag, table/list head address, count *)
+let table_off t = Int64.to_int (read t (t.meta + 8))
+let list_head t = Int64.to_int (read t (t.meta + 8))
+let count t = Int64.to_int (read t (t.meta + 16))
+
+let entry_key t e = Int64.to_int (read t e)
+let entry_value t e = Int64.to_int (read t (e + 8))
+let entry_next t e = Int64.to_int (read t (e + 16))
+
+let frame t label f = t.framer.Pmtrace.Framer.frame label f
+
+let create ?(framer = Pmtrace.Framer.null) ~engine pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let t = { pool; heap; meta; engine; framer } in
+  write t meta (match engine with Cmap -> 1L | Stree -> 2L);
+  (match engine with
+  | Cmap ->
+      let table = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(8 * nbuckets) in
+      write t (meta + 8) (Int64.of_int table);
+      Pmalloc.Pool.persist pool ~off:table ~size:(8 * nbuckets)
+  | Stree -> write t (meta + 8) 0L);
+  write t (meta + 16) 0L;
+  Pmalloc.Pool.persist pool ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = Pmtrace.Framer.null) pool heap =
+  match Pmalloc.Pool.root pool with
+  | None -> invalid_arg "Pmemkv.open_existing: pool has no root"
+  | Some (meta, _) ->
+      let engine =
+        match Pmalloc.Pool.read_i64 pool ~off:meta with
+        | 1L -> Cmap
+        | 2L -> Stree
+        | _ -> raise (Pmalloc.Pool.Corrupted "pmemkv: unknown engine tag")
+      in
+      { pool; heap; meta; engine; framer }
+
+(* --- cmap --- *)
+
+let cmap_bucket_addr t key = table_off t + (8 * Blob.bucket_of key nbuckets)
+
+let cmap_find t key =
+  let rec go prev e =
+    if e = 0 then None
+    else if String.equal (Blob.read t.pool (entry_key t e)) key then Some (prev, e)
+    else go (Some e) (entry_next t e)
+  in
+  go None (Int64.to_int (read t (cmap_bucket_addr t key)))
+
+(* --- stree (sorted list engine) --- *)
+
+let stree_locate t key =
+  (* the last entry with key < [key], and the first with key >= [key] *)
+  let rec go prev e =
+    if e = 0 then (prev, 0)
+    else
+      let k = Blob.read t.pool (entry_key t e) in
+      if String.compare k key < 0 then go (Some e) (entry_next t e) else (prev, e)
+  in
+  go None (list_head t)
+
+(* --- common operations --- *)
+
+let get t key =
+  frame t "pmemkv.get" (fun () ->
+      match t.engine with
+      | Cmap ->
+          Option.map (fun (_, e) -> Blob.read t.pool (entry_value t e)) (cmap_find t key)
+      | Stree -> (
+          match stree_locate t key with
+          | _, 0 -> None
+          | _, e ->
+              if String.equal (Blob.read t.pool (entry_key t e)) key then
+                Some (Blob.read t.pool (entry_value t e))
+              else None))
+
+let set_value_in t tx e value =
+  let old_blob = entry_value t e in
+  let blob = Blob.alloc_write t.pool t.heap value in
+  Pmalloc.Tx.add tx ~off:(e + 8) ~size:8;
+  write t (e + 8) (Int64.of_int blob);
+  (* the old blob is freed after the pointer swap is durable *)
+  ignore old_blob
+
+let insert_entry t tx ~link_addr ~next key value =
+  let kblob = Blob.alloc_write t.pool t.heap key in
+  let vblob = Blob.alloc_write t.pool t.heap value in
+  let e = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:entry_bytes in
+  write t e (Int64.of_int kblob);
+  write t (e + 8) (Int64.of_int vblob);
+  write t (e + 16) (Int64.of_int next);
+  Pmalloc.Pool.persist t.pool ~off:e ~size:entry_bytes;
+  Pmalloc.Tx.add tx ~off:link_addr ~size:8;
+  write t link_addr (Int64.of_int e);
+  Pmalloc.Tx.add tx ~off:(t.meta + 16) ~size:8;
+  write t (t.meta + 16) (Int64.of_int (count t + 1))
+
+let put t key value =
+  frame t "pmemkv.put" (fun () ->
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          match t.engine with
+          | Cmap -> (
+              match cmap_find t key with
+              | Some (_, e) -> set_value_in t tx e value
+              | None ->
+                  frame t "pmemkv.cmap_insert" (fun () ->
+                      insert_entry t tx ~link_addr:(cmap_bucket_addr t key)
+                        ~next:(Int64.to_int (read t (cmap_bucket_addr t key)))
+                        key value))
+          | Stree -> (
+              match stree_locate t key with
+              | _, e when e <> 0 && String.equal (Blob.read t.pool (entry_key t e)) key ->
+                  set_value_in t tx e value
+              | prev, next ->
+                  frame t "pmemkv.stree_insert" (fun () ->
+                      let link_addr =
+                        match prev with None -> t.meta + 8 | Some p -> p + 16
+                      in
+                      insert_entry t tx ~link_addr ~next key value))))
+
+let remove t key =
+  frame t "pmemkv.remove" (fun () ->
+      let removed = ref false in
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          let unlink prev e =
+            let link_addr =
+              match (prev, t.engine) with
+              | None, Cmap -> cmap_bucket_addr t key
+              | None, Stree -> t.meta + 8
+              | Some p, _ -> p + 16
+            in
+            Pmalloc.Tx.add tx ~off:link_addr ~size:8;
+            write t link_addr (Int64.of_int (entry_next t e));
+            Pmalloc.Tx.add tx ~off:(t.meta + 16) ~size:8;
+            write t (t.meta + 16) (Int64.of_int (count t - 1));
+            removed := true
+          in
+          match t.engine with
+          | Cmap -> (
+              match cmap_find t key with Some (prev, e) -> unlink prev e | None -> ())
+          | Stree -> (
+              match stree_locate t key with
+              | prev, e when e <> 0 && String.equal (Blob.read t.pool (entry_key t e)) key ->
+                  unlink prev e
+              | _ -> ()));
+      !removed)
+
+(* --- structural checks and recovery --- *)
+
+let check t =
+  let in_heap addr =
+    let layout = Pmalloc.Pool.layout t.pool in
+    addr >= layout.Pmalloc.Layout.heap_off && addr < Pmalloc.Pool.size t.pool
+  in
+  let validate_entry e =
+    if not (in_heap e) then Error (Printf.sprintf "entry %d outside heap" e)
+    else begin
+      ignore (Blob.read t.pool (entry_key t e));
+      ignore (Blob.read t.pool (entry_value t e));
+      Ok ()
+    end
+  in
+  let total = ref 0 in
+  let rec walk_chain e guard last_key =
+    if e = 0 then Ok ()
+    else if guard = 0 then Error "chain too long (cycle?)"
+    else
+      match validate_entry e with
+      | Error m -> Error m
+      | Ok () ->
+          let k = Blob.read t.pool (entry_key t e) in
+          if t.engine = Stree && (match last_key with Some lk -> String.compare lk k >= 0 | None -> false)
+          then Error "stree: keys out of order"
+          else begin
+            incr total;
+            walk_chain (entry_next t e) (guard - 1) (Some k)
+          end
+  in
+  let result =
+    match t.engine with
+    | Stree -> walk_chain (list_head t) 1_000_000 None
+    | Cmap ->
+        let rec buckets b =
+          if b = nbuckets then Ok ()
+          else
+            match walk_chain (Int64.to_int (read t (table_off t + (8 * b)))) 1_000_000 None with
+            | Error m -> Error m
+            | Ok () -> buckets (b + 1)
+        in
+        buckets 0
+  in
+  match result with
+  | Error m -> Error m
+  | Ok () ->
+      if !total = count t then Ok ()
+      else Error (Printf.sprintf "count mismatch: %d entries, counter %d" !total (count t))
+
+let recover dev =
+  match Pmalloc.Recovery.open_pool dev with
+  | exception Pmalloc.Pool.Corrupted msg -> Error ("pool recovery: " ^ msg)
+  | exception Pmalloc.Pool.Not_initialised -> Ok ()
+  | pool, heap, _ ->
+      if Pmalloc.Pool.root pool = None then Ok ()
+      else begin
+        match open_existing pool heap with
+        | exception Pmalloc.Pool.Corrupted msg -> Error msg
+        | t -> (
+            match check t with
+            | Error e -> Error ("pmemkv check: " ^ e)
+            | Ok () ->
+                put t "\x00probe" "1";
+                let seen = get t "\x00probe" in
+                let _ = remove t "\x00probe" in
+                if seen = Some "1" then Ok () else Error "pmemkv probe failed")
+      end

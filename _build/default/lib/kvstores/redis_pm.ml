@@ -1,0 +1,255 @@
+(** PM-aware Redis port (pmem/redis analogue): the dict with two hash tables
+    and incremental rehashing, persisted on pmalloc.
+
+    The dict keeps two bucket arrays; when the load factor passes 1, a
+    double-sized second table is allocated and every subsequent command
+    migrates one bucket (incremental rehash), exactly like Redis. All
+    mutations are transactional. A small command layer (SET/GET/DEL/INCR)
+    sits on top, because the original target is the whole server, not a
+    bare dict.
+
+    meta: ht0 addr, ht0 size, ht1 addr, ht1 size, rehash index, count. *)
+
+let min_pool_size = 1 lsl 22
+let initial_buckets = 32
+let meta_bytes = 64
+let entry_bytes = 64
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int;
+  framer : Pmtrace.Framer.t;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+
+let ht0 t = Int64.to_int (read t t.meta)
+let ht0_size t = Int64.to_int (read t (t.meta + 8))
+let ht1 t = Int64.to_int (read t (t.meta + 16))
+let ht1_size t = Int64.to_int (read t (t.meta + 24))
+let rehash_idx t = Int64.to_int (read t (t.meta + 32))
+let count t = Int64.to_int (read t (t.meta + 40))
+
+let entry_key t e = Int64.to_int (read t e)
+let entry_value t e = Int64.to_int (read t (e + 8))
+let entry_next t e = Int64.to_int (read t (e + 16))
+
+let frame t label f = t.framer.Pmtrace.Framer.frame label f
+
+let alloc_table heap pool n =
+  let table = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(8 * n) in
+  Pmalloc.Pool.persist pool ~off:table ~size:(8 * n);
+  table
+
+let create ?(framer = Pmtrace.Framer.null) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let t = { pool; heap; meta; framer } in
+  let table = alloc_table heap pool initial_buckets in
+  write t meta (Int64.of_int table);
+  write t (meta + 8) (Int64.of_int initial_buckets);
+  write t (meta + 16) 0L;
+  write t (meta + 24) 0L;
+  write t (meta + 32) (-1L);
+  write t (meta + 40) 0L;
+  Pmalloc.Pool.persist pool ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = Pmtrace.Framer.null) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Redis_pm.open_existing: pool has no root"
+
+let bucket table_size key = Blob.bucket_of key table_size
+
+let find_in t ~table ~table_size key =
+  if table = 0 then None
+  else
+    let rec go prev e =
+      if e = 0 then None
+      else if String.equal (Blob.read t.pool (entry_key t e)) key then Some (prev, e)
+      else go (Some e) (entry_next t e)
+    in
+    go None (Int64.to_int (read t (table + (8 * bucket table_size key))))
+
+let find t key =
+  match find_in t ~table:(ht0 t) ~table_size:(ht0_size t) key with
+  | Some r -> Some (`Ht0, r)
+  | None ->
+      Option.map
+        (fun r -> (`Ht1, r))
+        (find_in t ~table:(ht1 t) ~table_size:(ht1_size t) key)
+
+(* Migrate one bucket of ht0 into ht1 (incremental rehash step), inside the
+   caller's transaction. Finishing the migration promotes ht1. *)
+let rehash_step t tx =
+  let idx = rehash_idx t in
+  if idx >= 0 then
+    frame t "redis.rehash_step" (fun () ->
+        let h0 = ht0 t and h1 = ht1 t and s1 = ht1_size t in
+        let rec migrate e =
+          if e <> 0 then begin
+            let next = entry_next t e in
+            let key = Blob.read t.pool (entry_key t e) in
+            let dst = h1 + (8 * bucket s1 key) in
+            Pmalloc.Tx.add tx ~off:(e + 16) ~size:8;
+            write t (e + 16) (read t dst);
+            Pmalloc.Tx.add tx ~off:dst ~size:8;
+            write t dst (Int64.of_int e);
+            migrate next
+          end
+        in
+        Pmalloc.Tx.add tx ~off:(h0 + (8 * idx)) ~size:8;
+        let head = Int64.to_int (read t (h0 + (8 * idx))) in
+        write t (h0 + (8 * idx)) 0L;
+        migrate head;
+        Pmalloc.Tx.add tx ~off:(t.meta + 32) ~size:8;
+        if idx + 1 >= ht0_size t then begin
+          (* rehash complete: promote ht1 *)
+          Pmalloc.Tx.add tx ~off:t.meta ~size:32;
+          write t t.meta (Int64.of_int h1);
+          write t (t.meta + 8) (Int64.of_int s1);
+          write t (t.meta + 16) 0L;
+          write t (t.meta + 24) 0L;
+          write t (t.meta + 32) (-1L)
+        end
+        else write t (t.meta + 32) (Int64.of_int (idx + 1)))
+
+let maybe_start_rehash t tx =
+  if rehash_idx t < 0 && count t > ht0_size t then begin
+    let bigger = alloc_table t.heap t.pool (2 * ht0_size t) in
+    Pmalloc.Tx.add tx ~off:(t.meta + 16) ~size:24;
+    write t (t.meta + 16) (Int64.of_int bigger);
+    write t (t.meta + 24) (Int64.of_int (2 * ht0_size t));
+    write t (t.meta + 32) 0L
+  end
+
+(* --- commands --- *)
+
+let set t key value =
+  frame t "redis.set" (fun () ->
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          rehash_step t tx;
+          match find t key with
+          | Some (_, (_, e)) ->
+              let blob = Blob.alloc_write t.pool t.heap value in
+              Pmalloc.Tx.add tx ~off:(e + 8) ~size:8;
+              write t (e + 8) (Int64.of_int blob)
+          | None ->
+              frame t "redis.insert" (fun () ->
+                  maybe_start_rehash t tx;
+                  (* new keys go to ht1 while rehashing, like Redis *)
+                  let table, table_size =
+                    if rehash_idx t >= 0 then (ht1 t, ht1_size t)
+                    else (ht0 t, ht0_size t)
+                  in
+                  let kblob = Blob.alloc_write t.pool t.heap key in
+                  let vblob = Blob.alloc_write t.pool t.heap value in
+                  let e = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:entry_bytes in
+                  let link = table + (8 * bucket table_size key) in
+                  write t e (Int64.of_int kblob);
+                  write t (e + 8) (Int64.of_int vblob);
+                  write t (e + 16) (read t link);
+                  Pmalloc.Pool.persist t.pool ~off:e ~size:entry_bytes;
+                  Pmalloc.Tx.add tx ~off:link ~size:8;
+                  write t link (Int64.of_int e);
+                  Pmalloc.Tx.add tx ~off:(t.meta + 40) ~size:8;
+                  write t (t.meta + 40) (Int64.of_int (count t + 1)))))
+
+let get t key =
+  frame t "redis.get" (fun () ->
+      Option.map (fun (_, (_, e)) -> Blob.read t.pool (entry_value t e)) (find t key))
+
+let del t key =
+  frame t "redis.del" (fun () ->
+      let removed = ref false in
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          rehash_step t tx;
+          match find t key with
+          | None -> ()
+          | Some (which, (prev, e)) ->
+              let table, table_size =
+                match which with
+                | `Ht0 -> (ht0 t, ht0_size t)
+                | `Ht1 -> (ht1 t, ht1_size t)
+              in
+              let link =
+                match prev with
+                | Some p -> p + 16
+                | None -> table + (8 * bucket table_size key)
+              in
+              Pmalloc.Tx.add tx ~off:link ~size:8;
+              write t link (Int64.of_int (entry_next t e));
+              Pmalloc.Tx.add tx ~off:(t.meta + 40) ~size:8;
+              write t (t.meta + 40) (Int64.of_int (count t - 1));
+              removed := true);
+      !removed)
+
+let incr t key =
+  frame t "redis.incr" (fun () ->
+      let current = match get t key with Some s -> int_of_string_opt s | None -> Some 0 in
+      match current with
+      | None -> Error "value is not an integer"
+      | Some v ->
+          set t key (string_of_int (v + 1));
+          Ok (v + 1))
+
+(* --- recovery --- *)
+
+let check t =
+  let total = ref 0 in
+  let walk table table_size =
+    if table = 0 then Ok ()
+    else begin
+      let err = ref None in
+      for b = 0 to table_size - 1 do
+        if !err = None then begin
+          let seen = ref 0 in
+          let rec go e =
+            if e <> 0 then begin
+              seen := !seen + 1;
+              if !seen > 1_000_000 then err := Some "chain cycle"
+              else begin
+                (match Blob.read t.pool (entry_key t e) with
+                | (_ : string) -> total := !total + 1
+                | exception Pmalloc.Pool.Corrupted m -> err := Some m);
+                if !err = None then go (entry_next t e)
+              end
+            end
+          in
+          go (Int64.to_int (read t (table + (8 * b))))
+        end
+      done;
+      match !err with Some m -> Error m | None -> Ok ()
+    end
+  in
+  match walk (ht0 t) (ht0_size t) with
+  | Error m -> Error m
+  | Ok () -> (
+      match walk (ht1 t) (ht1_size t) with
+      | Error m -> Error m
+      | Ok () ->
+          let ri = rehash_idx t in
+          if ri >= ht0_size t then Error "rehash index out of range"
+          else if ri >= 0 && ht1 t = 0 then Error "rehashing without a second table"
+          else if !total <> count t then
+            Error (Printf.sprintf "count mismatch: %d entries, counter %d" !total (count t))
+          else Ok ())
+
+let recover dev =
+  match Pmalloc.Recovery.open_pool dev with
+  | exception Pmalloc.Pool.Corrupted msg -> Error ("pool recovery: " ^ msg)
+  | exception Pmalloc.Pool.Not_initialised -> Ok ()
+  | pool, heap, _ ->
+      if Pmalloc.Pool.root pool = None then Ok ()
+      else
+        let t = open_existing pool heap in
+        (match check t with
+        | Error e -> Error ("redis check: " ^ e)
+        | Ok () ->
+            set t "\x00probe" "1";
+            let seen = get t "\x00probe" in
+            let _ = del t "\x00probe" in
+            if seen = Some "1" then Ok () else Error "redis probe failed")

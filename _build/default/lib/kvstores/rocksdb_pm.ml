@@ -1,0 +1,240 @@
+(** PM-aware RocksDB port (pmem/rocksdb analogue): write-ahead log on PM,
+    volatile memtable, and immutable sorted runs flushed to PM.
+
+    Writes append a checksummed record to the WAL (persisted per record) and
+    update the DRAM memtable; when the memtable reaches [memtable_limit]
+    entries it is flushed as a sorted run (key/value blob pairs), the
+    manifest gains the run, and the WAL is truncated. Reads consult the
+    memtable and then the runs, newest first. Recovery loads the manifest,
+    replays the WAL tail into a fresh memtable, and validates run ordering
+    and record checksums.
+
+    meta: manifest address, run count, wal address, wal used, sequence. *)
+
+let min_pool_size = 1 lsl 22
+let memtable_limit = 48
+let max_runs = 64
+let wal_bytes = 1 lsl 17
+let meta_bytes = 64
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int;
+  memtable : (string, string option) Hashtbl.t; (* None = tombstone *)
+  framer : Pmtrace.Framer.t;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+
+let manifest t = Int64.to_int (read t t.meta)
+let run_count t = Int64.to_int (read t (t.meta + 8))
+let wal_addr t = Int64.to_int (read t (t.meta + 16))
+let wal_used t = Int64.to_int (read t (t.meta + 24))
+
+let frame t label f = t.framer.Pmtrace.Framer.frame label f
+
+let create ?(framer = Pmtrace.Framer.null) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let manifest = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(16 * max_runs) in
+  let wal = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:wal_bytes in
+  let t = { pool; heap; meta; memtable = Hashtbl.create 64; framer } in
+  write t meta (Int64.of_int manifest);
+  write t (meta + 8) 0L;
+  write t (meta + 16) (Int64.of_int wal);
+  write t (meta + 24) 0L;
+  Pmalloc.Pool.persist pool ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.persist pool ~off:manifest ~size:(16 * max_runs);
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+(* --- WAL records: length-prefixed, checksummed ---
+   record: total_len i64 | kind i64 (1 put, 2 del) | klen i64 | k | vlen i64 | v | fnv i64 *)
+
+let wal_record_bytes key value =
+  8 + 8 + 8 + String.length key + 8 + String.length (Option.value ~default:"" value) + 8
+
+exception Wal_full
+
+let append_wal t ~key ~value =
+  let vstr = Option.value ~default:"" value in
+  let total = wal_record_bytes key value in
+  let used = wal_used t in
+  if used + total > wal_bytes then raise Wal_full;
+  let base = wal_addr t + used in
+  let b = Buffer.create total in
+  let add_i64 v =
+    let bb = Bytes.create 8 in
+    Bytes.set_int64_le bb 0 v;
+    Buffer.add_bytes b bb
+  in
+  add_i64 (Int64.of_int total);
+  add_i64 (match value with Some _ -> 1L | None -> 2L);
+  add_i64 (Int64.of_int (String.length key));
+  Buffer.add_string b key;
+  add_i64 (Int64.of_int (String.length vstr));
+  Buffer.add_string b vstr;
+  let payload = Buffer.contents b in
+  add_i64 (Blob.hash payload);
+  Pmalloc.Pool.write_bytes t.pool ~off:base (Bytes.of_string (Buffer.contents b));
+  Pmalloc.Pool.persist t.pool ~off:base ~size:total;
+  (* publishing the new length is the commit point of the append *)
+  write t (t.meta + 24) (Int64.of_int (used + total));
+  Pmalloc.Pool.persist t.pool ~off:(t.meta + 24) ~size:8
+
+let read_wal_records pool ~wal ~used =
+  let rec go off acc =
+    if off >= used then Ok (List.rev acc)
+    else
+      let total = Int64.to_int (Pmalloc.Pool.read_i64 pool ~off:(wal + off)) in
+      if total < 40 || off + total > used then Error "wal: bad record length"
+      else
+        let body =
+          Pmalloc.Pool.read_bytes pool ~off:(wal + off) ~len:(total - 8) |> Bytes.to_string
+        in
+        let stored = Pmalloc.Pool.read_i64 pool ~off:(wal + off + total - 8) in
+        if not (Int64.equal stored (Blob.hash body)) then Error "wal: checksum mismatch"
+        else
+          let kind = Pmalloc.Pool.read_i64 pool ~off:(wal + off + 8) in
+          let klen = Int64.to_int (Pmalloc.Pool.read_i64 pool ~off:(wal + off + 16)) in
+          let key = String.sub body 24 klen in
+          let vlen =
+            Int64.to_int (Pmalloc.Pool.read_i64 pool ~off:(wal + off + 24 + klen))
+          in
+          let v = String.sub body (32 + klen) vlen in
+          let entry = (key, if Int64.equal kind 1L then Some v else None) in
+          go (off + total) (entry :: acc)
+  in
+  go 0 []
+
+(* --- sorted runs --- *)
+
+(* run: count i64 | count x { key_blob i64, value_blob i64 (0 = tombstone) } *)
+let flush_memtable t =
+  frame t "rocksdb.flush_memtable" (fun () ->
+      if run_count t >= max_runs then failwith "rocksdb: manifest full";
+      let entries =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.memtable []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let n = List.length entries in
+      let run = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:(8 + (16 * n)) in
+      write t run (Int64.of_int n);
+      List.iteri
+        (fun i (k, v) ->
+          (* per-entry frame: the flush loop body is one code location *)
+          frame t "rocksdb.flush_entry" (fun () ->
+              let kblob = Blob.alloc_write t.pool t.heap k in
+              let vblob =
+                match v with Some s -> Blob.alloc_write t.pool t.heap s | None -> 0
+              in
+              write t (run + 8 + (16 * i)) (Int64.of_int kblob);
+              write t (run + 16 + (16 * i)) (Int64.of_int vblob)))
+        entries;
+      Pmalloc.Pool.persist t.pool ~off:run ~size:(8 + (16 * n));
+      (* manifest gains the run, then the WAL is truncated: ordered so a
+         crash in between only duplicates (runs win over a replayed WAL) *)
+      let slot = manifest t + (16 * run_count t) in
+      write t slot (Int64.of_int run);
+      Pmalloc.Pool.persist t.pool ~off:slot ~size:16;
+      write t (t.meta + 8) (Int64.of_int (run_count t + 1));
+      Pmalloc.Pool.persist t.pool ~off:(t.meta + 8) ~size:8;
+      write t (t.meta + 24) 0L;
+      Pmalloc.Pool.persist t.pool ~off:(t.meta + 24) ~size:8;
+      Hashtbl.reset t.memtable)
+
+let put t key value =
+  frame t "rocksdb.put" (fun () ->
+      append_wal t ~key ~value:(Some value);
+      Hashtbl.replace t.memtable key (Some value);
+      if Hashtbl.length t.memtable >= memtable_limit then flush_memtable t)
+
+let delete t key =
+  frame t "rocksdb.delete" (fun () ->
+      append_wal t ~key ~value:None;
+      Hashtbl.replace t.memtable key None;
+      if Hashtbl.length t.memtable >= memtable_limit then flush_memtable t)
+
+let run_find t run key =
+  let n = Int64.to_int (read t run) in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let kblob = Int64.to_int (read t (run + 8 + (16 * mid))) in
+      let k = Blob.read t.pool kblob in
+      let c = String.compare key k in
+      if c = 0 then
+        let vblob = Int64.to_int (read t (run + 16 + (16 * mid))) in
+        Some (if vblob = 0 then None else Some (Blob.read t.pool vblob))
+      else if c < 0 then bsearch lo mid
+      else bsearch (mid + 1) hi
+  in
+  bsearch 0 n
+
+let get t key =
+  frame t "rocksdb.get" (fun () ->
+      match Hashtbl.find_opt t.memtable key with
+      | Some v -> v
+      | None ->
+          let rec runs i =
+            if i < 0 then None
+            else
+              let run = Int64.to_int (read t (manifest t + (16 * i))) in
+              match run_find t run key with Some v -> v | None -> runs (i - 1)
+          in
+          runs (run_count t - 1))
+
+(* --- recovery --- *)
+
+let open_existing ?(framer = Pmtrace.Framer.null) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; memtable = Hashtbl.create 64; framer }
+  | None -> invalid_arg "Rocksdb_pm.open_existing: pool has no root"
+
+let check_runs t =
+  let rec runs i =
+    if i = run_count t then Ok ()
+    else
+      let run = Int64.to_int (read t (manifest t + (16 * i))) in
+      let n = Int64.to_int (read t run) in
+      if n < 0 then Error (Printf.sprintf "run %d: negative size" i)
+      else begin
+        let err = ref None in
+        let last = ref None in
+        for j = 0 to n - 1 do
+          if !err = None then
+            match Blob.read t.pool (Int64.to_int (read t (run + 8 + (16 * j)))) with
+            | k ->
+                (match !last with
+                | Some lk when String.compare lk k >= 0 ->
+                    err := Some (Printf.sprintf "run %d unsorted at %d" i j)
+                | _ -> ());
+                last := Some k
+            | exception Pmalloc.Pool.Corrupted m -> err := Some m
+        done;
+        match !err with Some m -> Error m | None -> runs (i + 1)
+      end
+  in
+  runs 0
+
+let recover dev =
+  match Pmalloc.Recovery.open_pool dev with
+  | exception Pmalloc.Pool.Corrupted msg -> Error ("pool recovery: " ^ msg)
+  | exception Pmalloc.Pool.Not_initialised -> Ok ()
+  | pool, heap, _ ->
+      if Pmalloc.Pool.root pool = None then Ok ()
+      else
+        let t = open_existing pool heap in
+        (match check_runs t with
+        | Error e -> Error ("rocksdb runs: " ^ e)
+        | Ok () -> (
+            match read_wal_records pool ~wal:(wal_addr t) ~used:(wal_used t) with
+            | Error e -> Error ("rocksdb wal: " ^ e)
+            | Ok records ->
+                List.iter (fun (k, v) -> Hashtbl.replace t.memtable k v) records;
+                put t "\x00probe" "1";
+                let seen = get t "\x00probe" in
+                let _ = delete t "\x00probe" in
+                if seen = Some "1" then Ok () else Error "rocksdb probe failed"))

@@ -1,0 +1,1 @@
+lib/montage/hashtable.ml: Hashtbl Int64 Mt_alloc Payload Pmtrace Printf

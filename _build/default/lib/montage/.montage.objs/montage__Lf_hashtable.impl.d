@@ -1,0 +1,1 @@
+lib/montage/lf_hashtable.ml: Bytes Hashtbl Int64 Mt_alloc Option Payload Pmem Pmtrace Printf

@@ -1,0 +1,1 @@
+lib/montage/mt_alloc.ml: Bugreg Int64 Pmem

@@ -1,0 +1,1 @@
+lib/montage/payload.ml: Int64 Mt_alloc Pmem Printf

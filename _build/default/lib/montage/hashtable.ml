@@ -1,0 +1,100 @@
+(** Montage Hashtable: DRAM index, PM payloads, epoch-buffered persistence.
+
+    Puts and deletes append payloads to the arena without flushing; every
+    [ops_per_epoch] mutations the epoch is published, which flushes the
+    closed epoch's payloads and atomically advances the persisted epoch,
+    arena head and committed item count. A crash loses at most the open
+    epoch — never committed data.
+
+    Recovery scans the arena up to the persisted head, replays payloads
+    with epoch <= persisted epoch in write order, rebuilds the DRAM index,
+    and cross-checks the item count against the committed count. *)
+
+let name = "montage_hashtable"
+let min_pool_size = 1 lsl 21
+let ops_per_epoch = 8
+
+type t = {
+  alloc : Mt_alloc.t;
+  index : (int64, int) Hashtbl.t; (* key -> payload addr, DRAM *)
+  mutable live : int; (* current item count *)
+  mutable dirty_ops : int; (* mutations in the open epoch *)
+  framer : Pmtrace.Framer.t;
+}
+
+let dev t = t.alloc.Mt_alloc.dev
+
+let create ?(framer = Pmtrace.Framer.null) device =
+  let alloc = Mt_alloc.format device in
+  { alloc; index = Hashtbl.create 256; live = 0; dirty_ops = 0; framer }
+
+let count t = t.live
+
+let maybe_publish t =
+  t.dirty_ops <- t.dirty_ops + 1;
+  if t.dirty_ops >= ops_per_epoch then begin
+    t.framer.Pmtrace.Framer.frame "montage.publish_epoch" (fun () ->
+        Mt_alloc.publish_epoch t.alloc ~count:t.live);
+    t.dirty_ops <- 0
+  end
+
+let put t ~key ~value =
+  t.framer.Pmtrace.Framer.frame "montage.put" (fun () ->
+      let addr = Mt_alloc.alloc t.alloc ~bytes:Payload.size in
+      let epoch = Int64.add (Mt_alloc.persisted_epoch t.alloc) 1L in
+      Payload.write (dev t) ~addr ~tag:Payload.tag_put ~key ~value ~epoch;
+      if not (Hashtbl.mem t.index key) then t.live <- t.live + 1;
+      Hashtbl.replace t.index key addr;
+      maybe_publish t)
+
+let get t ~key =
+  t.framer.Pmtrace.Framer.frame "montage.get" (fun () ->
+      match Hashtbl.find_opt t.index key with
+      | None -> None
+      | Some addr -> Some (Payload.read (dev t) ~addr).Payload.value)
+
+let delete t ~key =
+  t.framer.Pmtrace.Framer.frame "montage.delete" (fun () ->
+      if not (Hashtbl.mem t.index key) then false
+      else begin
+        let addr = Mt_alloc.alloc t.alloc ~bytes:Payload.size in
+        let epoch = Int64.add (Mt_alloc.persisted_epoch t.alloc) 1L in
+        Payload.write (dev t) ~addr ~tag:Payload.tag_anti ~key ~value:0L ~epoch;
+        Hashtbl.remove t.index key;
+        t.live <- t.live - 1;
+        maybe_publish t;
+        true
+      end)
+
+(** Clean shutdown: publish the open epoch and mark the arena closed. *)
+let close t =
+  t.framer.Pmtrace.Framer.frame "montage.close" (fun () ->
+      Mt_alloc.destroy t.alloc ~count:t.live)
+
+(** The recovery procedure (and consistency oracle): rebuild the index from
+    the durable payload prefix and cross-check the committed count. *)
+let recover device =
+  match Mt_alloc.attach device with
+  | exception Mt_alloc.Corrupted msg -> Error ("montage: " ^ msg)
+  | alloc ->
+      let cutoff = Mt_alloc.persisted_epoch alloc in
+      let index = Hashtbl.create 256 in
+      let replay () p =
+        if Int64.compare p.Payload.epoch cutoff <= 0 then
+          if Int64.equal p.Payload.tag Payload.tag_put then
+            Hashtbl.replace index p.Payload.key p.Payload.addr
+          else Hashtbl.remove index p.Payload.key
+      in
+      (match
+         Payload.scan device ~head:(Mt_alloc.persisted_head alloc) ~f:replay ~init:()
+       with
+      | Error e -> Error ("montage payload scan: " ^ e)
+      | Ok () ->
+          let recovered = Hashtbl.length index in
+          let committed = Mt_alloc.committed_count alloc in
+          if recovered <> committed then
+            Error
+              (Printf.sprintf
+                 "montage: recovered %d items but the committed count is %d — data loss"
+                 recovered committed)
+          else Ok ())

@@ -1,0 +1,171 @@
+(** Montage LfHashtable: the lock-free variant. Unlike {!Hashtable} it keeps
+    its bucket heads in PM and publishes every operation eagerly with
+    CAS-plus-flush — the classic lock-free persistent pattern (CAS carries
+    fence semantics, paper section 2). Payloads are chained per bucket.
+
+    Layout: the {!Mt_alloc} header, then [nbuckets] 8-byte bucket heads,
+    then the payload arena. Payloads are 40 bytes: tag, key, value, epoch
+    (unused: always 0), next. *)
+
+let name = "montage_lf_hashtable"
+let min_pool_size = 1 lsl 21
+let nbuckets = 512
+let payload_size = 40
+
+type t = {
+  alloc : Mt_alloc.t;
+  buckets : int; (* address of the bucket array *)
+  framer : Pmtrace.Framer.t;
+  mutable live : int;
+}
+
+let dev t = t.alloc.Mt_alloc.dev
+
+let hash key =
+  Int64.to_int
+    (Int64.rem
+       (Int64.logand
+          (Int64.mul (Int64.logxor key (Int64.shift_right_logical key 33)) 0xff51afd7ed558ccdL)
+          Int64.max_int)
+       (Int64.of_int nbuckets))
+
+let bucket_addr t i = t.buckets + (8 * i)
+
+let persist t ~addr ~size =
+  Pmem.Device.flush_range (dev t) ~kind:Pmem.Op.Clwb ~addr ~size;
+  Pmem.Device.sfence (dev t)
+
+let create ?(framer = Pmtrace.Framer.null) device =
+  let alloc = Mt_alloc.format device in
+  let buckets = Mt_alloc.alloc alloc ~bytes:(8 * nbuckets) in
+  let t = { alloc; buckets; framer; live = 0 } in
+  Pmem.Device.store (dev t) ~addr:buckets (Bytes.make (8 * nbuckets) '\000');
+  persist t ~addr:buckets ~size:(8 * nbuckets);
+  (* publish the arena extent covering the bucket array *)
+  Mt_alloc.publish_epoch alloc ~count:0;
+  t
+
+let count t = t.live
+
+let head t i = Int64.to_int (Pmem.Device.load_i64 (dev t) ~addr:(bucket_addr t i))
+
+let payload_key t p = Pmem.Device.load_i64 (dev t) ~addr:(p + 8)
+let payload_value t p = Pmem.Device.load_i64 (dev t) ~addr:(p + 16)
+let payload_next t p = Int64.to_int (Pmem.Device.load_i64 (dev t) ~addr:(p + 32))
+let payload_tag t p = Pmem.Device.load_i64 (dev t) ~addr:p
+
+(* First live payload for [key] in its chain (newest first). *)
+let find t key =
+  let rec go p =
+    if p = 0 then None
+    else if Int64.equal (payload_key t p) key then
+      if Int64.equal (payload_tag t p) Payload.tag_put then Some p else None
+    else go (payload_next t p)
+  in
+  go (head t (hash key))
+
+let get t ~key =
+  t.framer.Pmtrace.Framer.frame "montage_lf.get" (fun () ->
+      Option.map (payload_value t) (find t key))
+
+let bump_count t delta =
+  t.live <- t.live + delta;
+  Pmem.Device.store_i64 (dev t) ~addr:Mt_alloc.count_off (Int64.of_int t.live);
+  persist t ~addr:Mt_alloc.count_off ~size:8
+
+(* Append a payload and publish it at the head of its bucket with a CAS. *)
+let append t ~tag ~key ~value =
+  let b = hash key in
+  let addr = Mt_alloc.alloc t.alloc ~bytes:payload_size in
+  let old_head = head t b in
+  Pmem.Device.store_i64 (dev t) ~addr tag;
+  Pmem.Device.store_i64 (dev t) ~addr:(addr + 8) key;
+  Pmem.Device.store_i64 (dev t) ~addr:(addr + 16) value;
+  Pmem.Device.store_i64 (dev t) ~addr:(addr + 24) 0L;
+  Pmem.Device.store_i64 (dev t) ~addr:(addr + 32) (Int64.of_int old_head);
+  persist t ~addr ~size:payload_size;
+  (* extend the published arena extent before the payload becomes
+     reachable, so recovery's chain walk always stays in bounds *)
+  Pmem.Device.store_i64 (dev t) ~addr:Mt_alloc.head_off
+    (Int64.of_int (Mt_alloc.volatile_head t.alloc));
+  persist t ~addr:Mt_alloc.head_off ~size:8;
+  (* lock-free publication: the CAS is the linearisation and carries fence
+     semantics; its cache line still needs an explicit write-back *)
+  let ok =
+    Pmem.Device.cas (dev t) ~addr:(bucket_addr t b) ~expected:(Int64.of_int old_head)
+      ~desired:(Int64.of_int addr)
+  in
+  assert ok;
+  persist t ~addr:(bucket_addr t b) ~size:8
+
+let put t ~key ~value =
+  t.framer.Pmtrace.Framer.frame "montage_lf.put" (fun () ->
+      match find t key with
+      | Some p ->
+          (* in-place atomic value update *)
+          Pmem.Device.store_i64 (dev t) ~addr:(p + 16) value;
+          persist t ~addr:(p + 16) ~size:8
+      | None ->
+          append t ~tag:Payload.tag_put ~key ~value;
+          bump_count t 1)
+
+let delete t ~key =
+  t.framer.Pmtrace.Framer.frame "montage_lf.delete" (fun () ->
+      if find t key = None then false
+      else begin
+        append t ~tag:Payload.tag_anti ~key ~value:0L;
+        bump_count t (-1);
+        true
+      end)
+
+let close t =
+  t.framer.Pmtrace.Framer.frame "montage_lf.close" (fun () ->
+      Mt_alloc.destroy t.alloc ~count:t.live)
+
+(** Recovery: walk every bucket chain, validating pointers against the
+    published arena extent, and cross-check the live count. *)
+let recover device =
+  match Mt_alloc.attach device with
+  | exception Mt_alloc.Corrupted msg -> Error ("montage_lf: " ^ msg)
+  | alloc ->
+      let limit = Mt_alloc.persisted_head alloc in
+      let buckets = Mt_alloc.header_size in
+      let live = Hashtbl.create 256 in
+      let rec walk b p guard =
+        if p = 0 then Ok ()
+        else if guard = 0 then Error (Printf.sprintf "bucket %d: chain cycle" b)
+        else if p < Mt_alloc.header_size || p + payload_size > limit then
+          Error (Printf.sprintf "bucket %d: payload %d outside the published arena" b p)
+        else begin
+          let tag = Pmem.Device.load_i64 device ~addr:p in
+          if not (Int64.equal tag Payload.tag_put || Int64.equal tag Payload.tag_anti) then
+            Error (Printf.sprintf "bucket %d: malformed payload at %d" b p)
+          else begin
+            let key = Pmem.Device.load_i64 device ~addr:(p + 8) in
+            if not (Hashtbl.mem live key) then
+              Hashtbl.replace live key (Int64.equal tag Payload.tag_put);
+            walk b (Int64.to_int (Pmem.Device.load_i64 device ~addr:(p + 32))) (guard - 1)
+          end
+        end
+      in
+      let rec buckets_walk b =
+        if b = nbuckets then Ok ()
+        else
+          match
+            walk b
+              (Int64.to_int (Pmem.Device.load_i64 device ~addr:(buckets + (8 * b))))
+              100_000
+          with
+          | Error e -> Error ("montage_lf: " ^ e)
+          | Ok () -> buckets_walk (b + 1)
+      in
+      (match buckets_walk 0 with
+      | Error e -> Error e
+      | Ok () ->
+          let recovered = Hashtbl.fold (fun _ alive n -> if alive then n + 1 else n) live 0 in
+          let committed = Mt_alloc.committed_count alloc in
+          if abs (recovered - committed) > 1 then
+            Error
+              (Printf.sprintf "montage_lf: recovered %d items, committed count %d"
+                 recovered committed)
+          else Ok ())

@@ -1,0 +1,115 @@
+(** Montage's own persistent payload allocator — deliberately {e not} built
+    on pmalloc, mirroring the fact that Montage does not use PMDK (which is
+    what let Mumak, being library-agnostic, analyse it at all; paper
+    section 6.4).
+
+    A bump allocator over a payload arena. The persisted head pointer is
+    only advanced at epoch boundaries, together with the epoch counter:
+    everything past the persisted head is, by definition, not yet durable.
+
+    Layout of the device:
+    {v
+      0:   magic            8: persisted epoch   16: persisted head
+      24:  committed count  32: clean-shutdown flag
+      64.. payload arena
+    v} *)
+
+let magic = 0x4d4f4e5441474531L (* "MONTAGE1" *)
+let header_size = 64
+let magic_off = 0
+let epoch_off = 8
+let head_off = 16
+let count_off = 24
+let shutdown_off = 32
+
+type t = {
+  dev : Pmem.Device.t;
+  mutable head : int; (* volatile bump pointer *)
+}
+
+exception Arena_full
+exception Corrupted of string
+
+let bug_head_unpersisted =
+  Bugreg.register ~id:"montage_alloc_head_unpersisted" ~component:"montage"
+    ~taxonomy:Bugreg.Durability
+    ~description:
+      "allocator head is never persisted at epoch boundaries; recovery scans a stale \
+       arena extent and loses committed payloads (the Montage recoverability bug)"
+    ~detectors:[ "mumak"; "witcher"; "xfdetector" ]
+
+let bug_dtor_window =
+  Bugreg.register ~id:"montage_dtor_window" ~component:"montage"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:
+      "allocator destruction resets the persisted head before the final epoch flush; \
+       a crash in the window truncates the arena (the Montage destructor bug)"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bugs = [ bug_head_unpersisted; bug_dtor_window ]
+
+let persist dev ~addr ~size =
+  Pmem.Device.flush_range dev ~kind:Pmem.Op.Clwb ~addr ~size;
+  Pmem.Device.sfence dev
+
+let format dev =
+  Pmem.Device.store_i64 dev ~addr:magic_off magic;
+  Pmem.Device.store_i64 dev ~addr:epoch_off 0L;
+  Pmem.Device.store_i64 dev ~addr:head_off (Int64.of_int header_size);
+  Pmem.Device.store_i64 dev ~addr:count_off 0L;
+  Pmem.Device.store_i64 dev ~addr:shutdown_off 0L;
+  persist dev ~addr:0 ~size:header_size;
+  { dev; head = header_size }
+
+let attach dev =
+  if not (Int64.equal (Pmem.Device.load_i64 dev ~addr:magic_off) magic) then
+    raise (Corrupted "montage arena: bad magic");
+  let head = Int64.to_int (Pmem.Device.load_i64 dev ~addr:head_off) in
+  if head < header_size || head > Pmem.Device.size dev then
+    raise (Corrupted "montage arena: persisted head out of range");
+  { dev; head }
+
+let persisted_epoch t = Pmem.Device.load_i64 t.dev ~addr:epoch_off
+let persisted_head t = Int64.to_int (Pmem.Device.load_i64 t.dev ~addr:head_off)
+let committed_count t = Int64.to_int (Pmem.Device.load_i64 t.dev ~addr:count_off)
+let volatile_head t = t.head
+
+(** Allocate [bytes] from the arena; buffered (nothing is flushed). *)
+let alloc t ~bytes =
+  let bytes = Pmem.Addr.align_up bytes 8 in
+  if t.head + bytes > Pmem.Device.size t.dev then raise Arena_full;
+  let addr = t.head in
+  t.head <- t.head + bytes;
+  addr
+
+(** Close the epoch: flush every payload written since the persisted head,
+    fence, then atomically publish the new epoch, head and committed count.
+    This is the durability point of the buffered design. *)
+let publish_epoch t ~count =
+  let from = persisted_head t in
+  if t.head > from then
+    Pmem.Device.flush_range t.dev ~kind:Pmem.Op.Clwb ~addr:from ~size:(t.head - from);
+  Pmem.Device.sfence t.dev;
+  Pmem.Device.store_i64 t.dev ~addr:epoch_off (Int64.add (persisted_epoch t) 1L);
+  if not (Bugreg.enabled bug_head_unpersisted.Bugreg.id) then
+    Pmem.Device.store_i64 t.dev ~addr:head_off (Int64.of_int t.head);
+  Pmem.Device.store_i64 t.dev ~addr:count_off (Int64.of_int count);
+  persist t.dev ~addr:0 ~size:header_size
+
+(** Destructor. The clean order: close the final epoch, then mark the clean
+    shutdown. The seeded bug resets the head first — the narrow destruction
+    window in which Mumak caught the original (urcs-sync/Montage commit
+    3384e50). *)
+let destroy t ~count =
+  if Bugreg.enabled bug_dtor_window.Bugreg.id then begin
+    (* BUG: the head is reset (the allocator considers itself empty) before
+       the final epoch is published *)
+    Pmem.Device.store_i64 t.dev ~addr:head_off (Int64.of_int header_size);
+    persist t.dev ~addr:head_off ~size:8;
+    publish_epoch t ~count;
+    Pmem.Device.store_i64 t.dev ~addr:head_off (Int64.of_int t.head);
+    persist t.dev ~addr:head_off ~size:8
+  end
+  else publish_epoch t ~count;
+  Pmem.Device.store_i64 t.dev ~addr:shutdown_off 1L;
+  persist t.dev ~addr:shutdown_off ~size:8

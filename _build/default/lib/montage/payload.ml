@@ -1,0 +1,44 @@
+(** Montage payload blocks: the only data Montage keeps in PM.
+
+    The index structures live in DRAM and are rebuilt on recovery by
+    scanning the payload arena — the heart of the buffered-persistence
+    design. A payload either asserts a mapping (put) or retracts one
+    (anti-payload, written by delete).
+
+    Layout (32 bytes): tag, key, value, epoch. *)
+
+let size = 32
+let tag_put = 1L
+let tag_anti = 2L
+
+let write alloc_dev ~addr ~tag ~key ~value ~epoch =
+  Pmem.Device.store_i64 alloc_dev ~addr tag;
+  Pmem.Device.store_i64 alloc_dev ~addr:(addr + 8) key;
+  Pmem.Device.store_i64 alloc_dev ~addr:(addr + 16) value;
+  Pmem.Device.store_i64 alloc_dev ~addr:(addr + 24) epoch
+
+type t = { addr : int; tag : int64; key : int64; value : int64; epoch : int64 }
+
+let read dev ~addr =
+  {
+    addr;
+    tag = Pmem.Device.load_i64 dev ~addr;
+    key = Pmem.Device.load_i64 dev ~addr:(addr + 8);
+    value = Pmem.Device.load_i64 dev ~addr:(addr + 16);
+    epoch = Pmem.Device.load_i64 dev ~addr:(addr + 24);
+  }
+
+let valid p = Int64.equal p.tag tag_put || Int64.equal p.tag tag_anti
+
+(** Scan the arena [header_size, head) and fold the payloads in write
+    order. Stops with an error on a malformed payload. *)
+let scan dev ~head ~f ~init =
+  let rec go addr acc =
+    if addr + size > head then Ok acc
+    else
+      let p = read dev ~addr in
+      if not (valid p) then
+        Error (Printf.sprintf "malformed payload at %d (tag %Ld)" addr p.tag)
+      else go (addr + size) (f acc p)
+  in
+  go Mt_alloc.header_size init

@@ -1,0 +1,1 @@
+lib/pmalloc/alloc.ml: Bytes Char Int64 Layout Pmem Pool Printf Redo Version

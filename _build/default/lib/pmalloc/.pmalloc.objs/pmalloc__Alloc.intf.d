@@ -1,0 +1,1 @@
+lib/pmalloc/alloc.mli: Pool

@@ -1,0 +1,1 @@
+lib/pmalloc/annotations.ml: Fun

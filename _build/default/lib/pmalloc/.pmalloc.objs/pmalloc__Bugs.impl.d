@@ -1,0 +1,1 @@
+lib/pmalloc/bugs.ml: Bugreg List

@@ -1,0 +1,1 @@
+lib/pmalloc/checksum.ml: Bytes Char Int64 List

@@ -1,0 +1,1 @@
+lib/pmalloc/lowlog.ml: Bugs Checksum Int64 Layout List Pmem Pmtrace

@@ -1,0 +1,1 @@
+lib/pmalloc/pool.ml: Bugs Bytes Char Checksum Int64 Layout Lowlog Pmem Version

@@ -1,0 +1,1 @@
+lib/pmalloc/pool.mli: Layout Pmem Version

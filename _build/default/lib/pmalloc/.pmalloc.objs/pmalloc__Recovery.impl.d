@@ -1,0 +1,1 @@
+lib/pmalloc/recovery.ml: Alloc Fmt Pool Printf Redo Tx

@@ -1,0 +1,1 @@
+lib/pmalloc/redo.ml: Lowlog Pool

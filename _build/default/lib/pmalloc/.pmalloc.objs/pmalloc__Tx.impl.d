@@ -1,0 +1,1 @@
+lib/pmalloc/tx.ml: Alloc Annotations Bugs Int64 Layout List Obj Pmem Pool Printf Version

@@ -1,0 +1,1 @@
+lib/pmalloc/tx.mli: Alloc Pool

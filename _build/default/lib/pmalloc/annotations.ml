@@ -1,0 +1,21 @@
+(** pmemcheck-style annotations built into the library.
+
+    PMDK ships extensively annotated for pmemcheck; tools like PMDebugger
+    ride on those annotations (paper section 3). The analogue here: the
+    transaction machinery announces begin/end to whoever registered, which
+    is what lets annotation-based tools segment their bookkeeping per
+    transaction — and is also why they cannot analyse applications built on
+    other libraries. *)
+
+let tx_begin_hook : (unit -> unit) ref = ref (fun () -> ())
+let tx_end_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let with_hooks ~on_tx_begin ~on_tx_end f =
+  let saved_b = !tx_begin_hook and saved_e = !tx_end_hook in
+  tx_begin_hook := on_tx_begin;
+  tx_end_hook := on_tx_end;
+  Fun.protect
+    ~finally:(fun () ->
+      tx_begin_hook := saved_b;
+      tx_end_hook := saved_e)
+    f

@@ -1,0 +1,38 @@
+(** Seeded bugs that live inside the pmalloc library itself (as opposed to
+    the applications built on top of it). See {!Bugreg} for the mechanism.
+
+    [pmdk112_tx_overflow_commit] reproduces the high-priority PMDK 1.12 bug
+    found by Mumak (paper section 6.4, pmem/pmdk issue 5461): committing a
+    transaction large enough to have allocated dynamic undo-log space leaves
+    a window in which a crash strands a stale extension pointer that makes a
+    subsequent large transaction crash the application. *)
+
+let tx_overflow_commit =
+  Bugreg.register ~id:"pmdk112_tx_overflow_commit" ~component:"pmalloc"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:
+      "V1.12: commit of a large tx clears the undo-log extension pointer after \
+       (instead of before) marking the lane clean; a crash in between strands a \
+       stale pointer and the next large tx aborts"
+    ~detectors:[ "mumak"; "witcher"; "agamotto" ]
+
+let redo_apply_missing_drain =
+  Bugreg.register ~id:"pmalloc_redo_missing_drain" ~component:"pmalloc"
+    ~taxonomy:Bugreg.Durability
+    ~description:
+      "redo-log apply never flushes the home locations: the allocator bitmap \
+       updates are left to cache eviction"
+    ~detectors:[ "mumak"; "pmdebugger"; "xfdetector"; "agamotto"; "witcher" ]
+
+let persist_double_flush =
+  Bugreg.register ~id:"pmalloc_persist_double_flush" ~component:"pmalloc"
+    ~taxonomy:Bugreg.Redundant_flush
+    ~description:"persist flushes every touched line twice"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let tx_overflow_commit_enabled () = Bugreg.enabled tx_overflow_commit.Bugreg.id
+let redo_apply_missing_drain_enabled () = Bugreg.enabled redo_apply_missing_drain.Bugreg.id
+let persist_double_flush_enabled () = Bugreg.enabled persist_double_flush.Bugreg.id
+
+let all = [ tx_overflow_commit; redo_apply_missing_drain; persist_double_flush ]
+let active_ids () = List.filter_map (fun b -> if Bugreg.enabled b.Bugreg.id then Some b.Bugreg.id else None) all

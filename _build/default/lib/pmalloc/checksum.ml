@@ -1,0 +1,19 @@
+(** FNV-1a 64-bit checksums, used to validate persistent metadata (pool
+    header, log entries) during recovery. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let fnv64 ?(init = offset_basis) b ~off ~len =
+  let h = ref init in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)))) prime
+  done;
+  !h
+
+let of_bytes b = fnv64 b ~off:0 ~len:(Bytes.length b)
+
+let of_i64s values =
+  let b = Bytes.create (8 * List.length values) in
+  List.iteri (fun i v -> Bytes.set_int64_le b (i * 8) v) values;
+  of_bytes b

@@ -1,0 +1,84 @@
+(** On-media layout of a pool.
+
+    {v
+    +---------------------+ 0
+    | header (1 line)     |   magic, version, size, root, checksum
+    +---------------------+ header_size
+    | redo log            |   metadata redo (allocator operations)
+    +---------------------+ redo_off + redo_bytes
+    | undo log (tx lane)  |   transaction undo log, fixed capacity
+    +---------------------+ bitmap_off
+    | allocation bitmap   |   1 byte per heap chunk
+    +---------------------+ heap_off
+    | heap chunks         |   64-byte chunks handed out by the allocator
+    +---------------------+ pool size
+    v} *)
+
+let header_size = 64
+
+(* Header field offsets. *)
+let magic_off = 0
+let version_off = 8
+let size_off = 16
+let root_off_off = 24
+let root_size_off = 32
+let generation_off = 40
+let header_checksum_off = 48
+
+let magic = 0x4f43_414d_4c50_4d31L (* "OCAMLPM1" as an integer tag *)
+
+(* Redo log: header line + fixed entry slots of 16 bytes (addr, value). *)
+let redo_cap = 520
+let redo_header_size = 64
+let redo_count_off = 0
+let redo_committed_off = 8
+let redo_checksum_off = 16
+let redo_entry_size = 16
+let redo_bytes = redo_header_size + (redo_cap * redo_entry_size)
+
+(* Undo log: header line + fixed 64-byte entry slots; each entry snapshots
+   up to 48 bytes. Larger ranges are split across entries. An overflow
+   extension (allocated from the heap) chains behind the fixed area. *)
+let ulog_cap = 128
+let ulog_header_size = 64
+let ulog_state_off = 0
+let ulog_count_off = 8
+let ulog_overflow_off = 16 (* heap address of the extension block, 0 = none *)
+let ulog_overflow_cap_off = 24
+let ulog_entry_size = 64
+let ulog_entry_data_max = 48
+let ulog_bytes = ulog_header_size + (ulog_cap * ulog_entry_size)
+
+let chunk_size = 64
+
+type t = {
+  pool_size : int;
+  redo_off : int;
+  ulog_off : int;
+  bitmap_off : int;
+  heap_off : int;
+  chunk_count : int;
+}
+
+let align = Pmem.Addr.align_up
+
+let compute ~pool_size =
+  let redo_off = header_size in
+  let ulog_off = align (redo_off + redo_bytes) 64 in
+  let bitmap_off = align (ulog_off + ulog_bytes) 64 in
+  let remaining = pool_size - bitmap_off in
+  if remaining < 2 * chunk_size then
+    invalid_arg
+      (Printf.sprintf "Pmalloc.Layout: pool of %d bytes is too small (minimum ~%d)"
+         pool_size
+         (bitmap_off + (2 * chunk_size)));
+  (* Each chunk costs chunk_size bytes of heap plus 1 bitmap byte. *)
+  let chunk_count = remaining / (chunk_size + 1) in
+  let heap_off = align (bitmap_off + chunk_count) 64 in
+  let chunk_count = min chunk_count ((pool_size - heap_off) / chunk_size) in
+  { pool_size; redo_off; ulog_off; bitmap_off; heap_off; chunk_count }
+
+let chunk_addr t i = t.heap_off + (i * chunk_size)
+let chunk_of_addr t addr = (addr - t.heap_off) / chunk_size
+let redo_entry_off t i = t.redo_off + redo_header_size + (i * redo_entry_size)
+let ulog_entry_off t i = t.ulog_off + ulog_header_size + (i * ulog_entry_size)

@@ -1,0 +1,110 @@
+(** Device-level redo log: the failure-atomic multi-word update primitive.
+
+    This is the same machinery {!Redo} exposes at the pool level, factored
+    to operate on a raw device + layout so the pool header itself (root
+    pointer updates) can use it without a dependency cycle.
+
+    Protocol: persist the staged entries, persist count+checksum, set the
+    committed flag (single atomic store — the commit point), apply the
+    entries to their home locations, clear the flag. Recovery re-applies a
+    committed log and discards an uncommitted one. *)
+
+exception Corrupted of string
+
+type entry = { addr : int; value : int64 }
+
+type builder = { mutable entries : entry list (* newest first *) }
+
+let builder () = { entries = [] }
+
+let stage b ~addr ~value =
+  if List.length b.entries >= Layout.redo_cap then
+    invalid_arg "Pmalloc.Lowlog: log capacity exceeded";
+  b.entries <- { addr; value } :: b.entries
+
+let entries_checksum entries =
+  Checksum.of_i64s
+    (List.concat_map (fun e -> [ Int64.of_int e.addr; e.value ]) entries)
+
+let persist dev ~addr ~size =
+  Pmem.Device.flush_range dev ~kind:Pmem.Op.Clwb ~addr ~size;
+  Pmem.Device.sfence dev
+
+let apply_entries dev entries =
+  (* Seeded durability bug: the applied entries are never flushed at all —
+     the log is cleared while the home locations still sit in the cache. *)
+  let skip_persist = Bugs.redo_apply_missing_drain_enabled () in
+  List.iter
+    (fun e ->
+      Pmtrace.Framer.in_ambient "pmalloc.redo_apply" (fun () ->
+          Pmem.Device.store_i64 dev ~addr:e.addr e.value;
+          if not skip_persist then
+            Pmem.Device.flush_range dev ~kind:Pmem.Op.Clwb ~addr:e.addr ~size:8))
+    entries;
+  if not skip_persist then Pmem.Device.sfence dev
+
+let clear dev (layout : Layout.t) =
+  let base = layout.Layout.redo_off in
+  Pmem.Device.store_i64 dev ~addr:(base + Layout.redo_committed_off) 0L;
+  Pmem.Device.store_i64 dev ~addr:(base + Layout.redo_count_off) 0L;
+  persist dev ~addr:base ~size:Layout.redo_header_size
+
+(** Commit and apply the staged entries: after [commit] returns, all target
+    words hold their new values durably. *)
+let commit dev (layout : Layout.t) b =
+  let entries = List.rev b.entries in
+  let base = layout.Layout.redo_off in
+  List.iteri
+    (fun i e ->
+      Pmtrace.Framer.in_ambient "pmalloc.redo_write" (fun () ->
+          let off = Layout.redo_entry_off layout i in
+          Pmem.Device.store_i64 dev ~addr:off (Int64.of_int e.addr);
+          Pmem.Device.store_i64 dev ~addr:(off + 8) e.value;
+          Pmem.Device.flush_range dev ~kind:Pmem.Op.Clwb ~addr:off
+            ~size:Layout.redo_entry_size))
+    entries;
+  Pmem.Device.store_i64 dev
+    ~addr:(base + Layout.redo_count_off)
+    (Int64.of_int (List.length entries));
+  Pmem.Device.store_i64 dev ~addr:(base + Layout.redo_checksum_off) (entries_checksum entries);
+  persist dev ~addr:base ~size:Layout.redo_header_size;
+  (* Commit point: a single atomic flag store. *)
+  Pmem.Device.store_i64 dev ~addr:(base + Layout.redo_committed_off) 1L;
+  persist dev ~addr:(base + Layout.redo_committed_off) ~size:8;
+  apply_entries dev entries;
+  clear dev layout
+
+let read_entries dev layout count =
+  List.init count (fun i ->
+      let off = Layout.redo_entry_off layout i in
+      {
+        addr = Int64.to_int (Pmem.Device.load_i64 dev ~addr:off);
+        value = Pmem.Device.load_i64 dev ~addr:(off + 8);
+      })
+
+(** Recovery step: re-apply a committed log (the crash hit between commit
+    and clear) or discard an uncommitted one. *)
+let recover dev (layout : Layout.t) =
+  let base = layout.Layout.redo_off in
+  let committed = Pmem.Device.load_i64 dev ~addr:(base + Layout.redo_committed_off) in
+  if Int64.equal committed 1L then begin
+    let count =
+      Int64.to_int (Pmem.Device.load_i64 dev ~addr:(base + Layout.redo_count_off))
+    in
+    if count < 0 || count > Layout.redo_cap then
+      raise (Corrupted "redo log: invalid entry count");
+    let entries = read_entries dev layout count in
+    let stored = Pmem.Device.load_i64 dev ~addr:(base + Layout.redo_checksum_off) in
+    if not (Int64.equal stored (entries_checksum entries)) then
+      raise (Corrupted "redo log: checksum mismatch on committed log");
+    apply_entries dev entries;
+    clear dev layout;
+    `Reapplied count
+  end
+  else begin
+    if
+      not
+        (Int64.equal (Pmem.Device.load_i64 dev ~addr:(base + Layout.redo_count_off)) 0L)
+    then clear dev layout;
+    `Clean
+  end

@@ -1,0 +1,48 @@
+(** Pool recovery: the library-level half of the "recovery procedure as
+    consistency oracle" (paper section 4.1).
+
+    Opening a pool after a crash composes, in order: header validation,
+    redo-log recovery (allocator metadata), undo-log recovery (user
+    transactions) and an allocator-bitmap structural check. Applications
+    layer their own structure-specific recovery on top. *)
+
+type report = {
+  redo : [ `Clean | `Reapplied of int ];
+  tx : [ `Clean | `Completed | `Rolled_back of int ];
+}
+
+let pp_report ppf r =
+  let redo =
+    match r.redo with
+    | `Clean -> "clean"
+    | `Reapplied n -> Printf.sprintf "reapplied %d entries" n
+  in
+  let tx =
+    match r.tx with
+    | `Clean -> "clean"
+    | `Completed -> "completed interrupted commit"
+    | `Rolled_back n -> Printf.sprintf "rolled back %d entries" n
+  in
+  Fmt.pf ppf "redo: %s; tx: %s" redo tx
+
+(** [open_pool dev] attaches to the pool on [dev] and repairs library
+    metadata. Raises {!Pool.Corrupted} when the image cannot be brought to
+    a consistent state — the signal the oracle turns into a bug report —
+    and {!Pool.Not_initialised} when the pool was never committed (a crash
+    during creation; the caller simply re-creates it).
+
+    Order matters: the redo log is replayed {e before} the header is
+    validated, because an interrupted header update (e.g. a root-pointer
+    publish) is exactly what a committed redo log completes. *)
+let open_pool dev =
+  let pool = Pool.attach_unchecked dev in
+  let redo = Redo.recover pool in
+  Pool.validate_header pool;
+  (* The allocator mirror must be rebuilt after redo recovery so that the
+     extension blocks released by tx recovery see consistent state. *)
+  let heap = Alloc.attach pool in
+  let tx = Tx.recover ~heap pool in
+  (match Alloc.check pool with
+  | Ok () -> ()
+  | Error e -> raise (Pool.Corrupted ("allocator bitmap: " ^ e)));
+  (pool, heap, { redo; tx })

@@ -1,0 +1,22 @@
+(** Redo log for pool-metadata updates (the allocator's bitmap writes, the
+    header's root updates): the pool-level face of {!Lowlog}.
+
+    Build the entry set in volatile memory, then {!commit}: entries are
+    persisted, the committed flag is the atomic commit point, the entries
+    are applied to their home locations, the log is cleared. Recovery
+    re-applies a committed log and discards an uncommitted one, making
+    every metadata operation failure-atomic. *)
+
+type builder = Lowlog.builder
+
+let begin_ () = Lowlog.builder ()
+let add b ~addr ~value = Lowlog.stage b ~addr ~value
+
+let commit pool b = Lowlog.commit (Pool.device pool) (Pool.layout pool) b
+
+(** Recovery step; translates the low-level corruption signal into
+    {!Pool.Corrupted}. *)
+let recover pool =
+  match Lowlog.recover (Pool.device pool) (Pool.layout pool) with
+  | result -> result
+  | exception Lowlog.Corrupted msg -> raise (Pool.Corrupted msg)

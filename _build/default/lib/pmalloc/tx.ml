@@ -1,0 +1,292 @@
+(** Failure-atomic transactions backed by a persistent undo log.
+
+    Protocol (libpmemobj-style):
+    - [begin_] marks the lane ACTIVE.
+    - [add] snapshots a range {e before} the caller overwrites it: the entry
+      is fully persisted before the entry count is bumped, so recovery only
+      ever sees complete entries.
+    - [commit] flushes every snapshotted range, marks the lane COMMITTED
+      (the atomic commit point), then releases the log and marks it NONE.
+    - recovery rolls an ACTIVE lane back (crash before commit point) and
+      finishes a COMMITTED one (crash after).
+
+    Large transactions overflow the fixed log area into extension blocks
+    allocated from the heap and chained behind the lane header. The seeded
+    [pmdk112_tx_overflow_commit] bug (see {!Bugs}) mis-orders the release of
+    this chain during commit. *)
+
+type state_tag = None_ | Active | Committed
+
+let state_to_i64 = function None_ -> 0L | Active -> 1L | Committed -> 2L
+
+let state_of_i64 = function
+  | 0L -> Some None_
+  | 1L -> Some Active
+  | 2L -> Some Committed
+  | _ -> None
+
+let ext_entries = 64
+let ext_header_size = 64
+let ext_next_off = 0
+let ext_size = ext_header_size + (ext_entries * Layout.ulog_entry_size)
+
+type t = {
+  pool : Pool.t;
+  heap : Alloc.t option;
+  mutable count : int;
+  mutable exts : int list; (* extension block addresses, in chain order *)
+  mutable tracked : (int * int) list; (* ranges to flush at commit *)
+  mutable open_ : bool;
+}
+
+exception Log_full
+exception Not_active
+
+let lane_off pool field = (Pool.layout pool).Layout.ulog_off + field
+
+let read_state pool =
+  state_of_i64 (Pool.read_i64 pool ~off:(lane_off pool Layout.ulog_state_off))
+
+let write_state pool s =
+  Pool.persist_i64 pool ~off:(lane_off pool Layout.ulog_state_off) (state_to_i64 s)
+
+let read_count pool =
+  Int64.to_int (Pool.read_i64 pool ~off:(lane_off pool Layout.ulog_count_off))
+
+let read_overflow pool =
+  Int64.to_int (Pool.read_i64 pool ~off:(lane_off pool Layout.ulog_overflow_off))
+
+(* Persistent address of entry slot [i]: the fixed area first, then the
+   extension chain. [exts] must already contain enough blocks. *)
+let entry_addr pool exts i =
+  if i < Layout.ulog_cap then Layout.ulog_entry_off (Pool.layout pool) i
+  else
+    let j = i - Layout.ulog_cap in
+    let block = List.nth exts (j / ext_entries) in
+    block + ext_header_size + (j mod ext_entries * Layout.ulog_entry_size)
+
+let heap_bounds pool =
+  let layout = Pool.layout pool in
+  (layout.Layout.heap_off, layout.Layout.heap_off + (layout.Layout.chunk_count * Layout.chunk_size))
+
+let valid_heap_addr pool addr =
+  let lo, hi = heap_bounds pool in
+  addr >= lo && addr + ext_size <= hi && Pmem.Addr.is_aligned (addr - lo) Layout.chunk_size
+
+(* Walk the persisted extension chain, validating every link. *)
+let read_ext_chain pool ~needed =
+  let rec walk addr acc n =
+    if n = 0 then List.rev acc
+    else if addr = 0 then raise (Pool.Corrupted "undo log: extension chain too short")
+    else if not (valid_heap_addr pool addr) then
+      raise (Pool.Corrupted "undo log: extension pointer outside heap")
+    else
+      let next = Int64.to_int (Pool.read_i64 pool ~off:(addr + ext_next_off)) in
+      walk next (addr :: acc) (n - 1)
+  in
+  walk (read_overflow pool) [] needed
+
+let blocks_needed count =
+  if count <= Layout.ulog_cap then 0
+  else (count - Layout.ulog_cap + ext_entries - 1) / ext_entries
+
+let begin_ ?heap pool =
+  (match read_state pool with
+  | Some None_ -> ()
+  | Some (Active | Committed) ->
+      invalid_arg "Pmalloc.Tx.begin_: a transaction is already open on this lane"
+  | None -> raise (Pool.Corrupted "undo log: invalid lane state"));
+  (* A clean lane must not reference an extension: a stale pointer means a
+     previous commit was torn (this is how the seeded PMDK 1.12 bug
+     manifests as an application crash on the next large transaction). *)
+  if read_overflow pool <> 0 then
+    raise (Pool.Corrupted "undo log: clean lane holds a stale extension pointer");
+  write_state pool Active;
+  !Annotations.tx_begin_hook ();
+  { pool; heap; count = 0; exts = []; tracked = []; open_ = true }
+
+let grow t =
+  let heap =
+    match t.heap with
+    | Some h -> h
+    | None -> raise Log_full
+  in
+  let block = Alloc.alloc heap ~bytes:ext_size in
+  Pool.persist_i64 t.pool ~off:(block + ext_next_off) 0L;
+  (match List.rev t.exts with
+  | [] ->
+      Pool.persist_i64 t.pool
+        ~off:(lane_off t.pool Layout.ulog_overflow_off)
+        (Int64.of_int block)
+  | last :: _ -> Pool.persist_i64 t.pool ~off:(last + ext_next_off) (Int64.of_int block));
+  t.exts <- t.exts @ [ block ]
+
+let write_entry t i ~addr ~size ~data =
+  let slot = entry_addr t.pool t.exts i in
+  Pool.write_i64 t.pool ~off:slot (Int64.of_int addr);
+  Pool.write_i64 t.pool ~off:(slot + 8) (Int64.of_int size);
+  Pool.write_bytes t.pool ~off:(slot + 16) data;
+  Pool.persist t.pool ~off:slot ~size:Layout.ulog_entry_size;
+  Pool.persist_i64 t.pool ~off:(lane_off t.pool Layout.ulog_count_off) (Int64.of_int (i + 1))
+
+(** Snapshot [size] bytes at [off] so they can be rolled back if the
+    transaction aborts. Must be called before the range is modified. *)
+let add t ~off ~size =
+  if not t.open_ then raise Not_active;
+  let rec pieces pos remaining =
+    if remaining > 0 then begin
+      let len = min remaining Layout.ulog_entry_data_max in
+      let capacity = Layout.ulog_cap + (List.length t.exts * ext_entries) in
+      if t.count >= capacity then grow t;
+      let data = Pool.read_bytes t.pool ~off:pos ~len in
+      write_entry t t.count ~addr:pos ~size:len ~data;
+      t.count <- t.count + 1;
+      pieces (pos + len) (remaining - len)
+    end
+  in
+  pieces off size;
+  t.tracked <- (off, size) :: t.tracked
+
+(** [add_and_store_i64 t ~off v] is the common snapshot-then-store pattern. *)
+let add_and_store_i64 t ~off v =
+  add t ~off ~size:8;
+  Pool.write_i64 t.pool ~off v
+
+let release_chain t =
+  match t.heap with
+  | None -> ()
+  | Some heap -> List.iter (fun block -> Alloc.free heap block) t.exts
+
+let clear_lane pool =
+  Pool.write_i64 pool ~off:(lane_off pool Layout.ulog_count_off) 0L;
+  Pool.write_i64 pool ~off:(lane_off pool Layout.ulog_overflow_off) 0L;
+  Pool.persist pool ~off:(lane_off pool 0) ~size:Layout.ulog_header_size
+
+let buggy_overflow_commit t =
+  Pool.version t.pool = Version.V1_12
+  && Bugs.tx_overflow_commit_enabled ()
+  && t.exts <> []
+
+let commit t =
+  if not t.open_ then raise Not_active;
+  (* Make every snapshotted (hence potentially modified) range durable
+     before declaring the transaction committed. *)
+  List.iter (fun (off, size) -> Pool.flush t.pool ~off ~size) t.tracked;
+  Pool.drain t.pool;
+  write_state t.pool Committed;
+  if buggy_overflow_commit t then begin
+    (* BUG (pmdk112_tx_overflow_commit): the extension chain is released and
+       the lane marked clean, but the overflow pointer is only cleared
+       afterwards. A crash at the state=NONE persist strands the stale
+       pointer on an otherwise clean lane. *)
+    release_chain t;
+    Pool.persist_i64 t.pool ~off:(lane_off t.pool Layout.ulog_count_off) 0L;
+    write_state t.pool None_;
+    Pool.persist_i64 t.pool ~off:(lane_off t.pool Layout.ulog_overflow_off) 0L
+  end
+  else begin
+    release_chain t;
+    clear_lane t.pool;
+    write_state t.pool None_
+  end;
+  t.open_ <- false;
+  t.exts <- [];
+  t.tracked <- [];
+  !Annotations.tx_end_hook ()
+
+let entry_fields pool exts i =
+  let slot = entry_addr pool exts i in
+  let addr = Int64.to_int (Pool.read_i64 pool ~off:slot) in
+  let size = Int64.to_int (Pool.read_i64 pool ~off:(slot + 8)) in
+  (slot, addr, size)
+
+let validate_entry pool ~addr ~size =
+  if size <= 0 || size > Layout.ulog_entry_data_max then
+    raise (Pool.Corrupted (Printf.sprintf "undo entry: invalid size %d" size));
+  if addr < Layout.header_size || addr + size > Pool.size pool then
+    raise (Pool.Corrupted (Printf.sprintf "undo entry: address %d outside pool" addr))
+
+let rollback_entries pool exts ~count =
+  for i = count - 1 downto 0 do
+    let slot, addr, size = entry_fields pool exts i in
+    validate_entry pool ~addr ~size;
+    let data = Pool.read_bytes pool ~off:(slot + 16) ~len:size in
+    Pool.write_bytes pool ~off:addr data;
+    Pool.flush pool ~off:addr ~size
+  done;
+  Pool.drain pool
+
+let abort t =
+  if not t.open_ then raise Not_active;
+  rollback_entries t.pool t.exts ~count:t.count;
+  release_chain t;
+  clear_lane t.pool;
+  write_state t.pool None_;
+  t.open_ <- false;
+  t.exts <- [];
+  t.tracked <- [];
+  !Annotations.tx_end_hook ()
+
+(* Ambient open transactions, keyed by physical pool identity: nested
+   [run]s flatten into the enclosing transaction, like libpmemobj's nested
+   TX_BEGIN. *)
+let ambient : (Obj.t * t) list ref = ref []
+
+let find_ambient pool =
+  List.find_map
+    (fun (key, t) -> if key == Obj.repr pool then Some t else None)
+    !ambient
+
+(** [run ?heap pool f] runs [f] inside a transaction, committing on normal
+    return and aborting (rolling back) if [f] raises. A [run] nested inside
+    another [run] on the same pool joins the outer transaction. *)
+let run ?heap pool f =
+  match find_ambient pool with
+  | Some t -> f t
+  | None -> (
+      let t = begin_ ?heap pool in
+      let key = Obj.repr pool in
+      ambient := (key, t) :: !ambient;
+      let remove () = ambient := List.filter (fun (k, _) -> k != key) !ambient in
+      match f t with
+      | v ->
+          remove ();
+          commit t;
+          v
+      | exception e ->
+          remove ();
+          (* If the failure is a simulated crash, the device refuses further
+             work; leave the lane as the crash left it. *)
+          (try abort t with _ -> ());
+          raise e)
+
+(** Recovery step for the transaction lane (called with the pool open on a
+    crash image, before the application touches any data). *)
+let recover ?heap pool =
+  match read_state pool with
+  | None -> raise (Pool.Corrupted "undo log: invalid lane state")
+  | Some None_ -> `Clean
+  | Some Committed ->
+      (* Crash after the commit point: user data is durable; finish the
+         release that the crash interrupted. The crash may have hit halfway
+         through releasing the extension chain, so skip already-freed
+         blocks. *)
+      let exts = read_ext_chain pool ~needed:(blocks_needed (read_count pool)) in
+      (match heap with
+      | Some h ->
+          List.iter (fun b -> if Alloc.is_allocation_start h b then Alloc.free h b) exts
+      | None -> ());
+      clear_lane pool;
+      write_state pool None_;
+      `Completed
+  | Some Active ->
+      let count = read_count pool in
+      if count < 0 then raise (Pool.Corrupted "undo log: negative entry count");
+      let exts = read_ext_chain pool ~needed:(blocks_needed count) in
+      rollback_entries pool exts ~count;
+      (match heap with
+      | Some h -> List.iter (fun b -> Alloc.free h b) exts
+      | None -> ());
+      clear_lane pool;
+      write_state pool None_;
+      `Rolled_back count

@@ -1,0 +1,52 @@
+(** Failure-atomic transactions backed by a persistent undo log
+    (libpmemobj-style).
+
+    Protocol: {!begin_} marks the lane ACTIVE; {!add} snapshots a range
+    {e before} the caller overwrites it (each entry is fully persisted
+    before the entry count is bumped); {!commit} flushes every snapshotted
+    range, marks the lane COMMITTED — the atomic commit point — then
+    releases the log. Recovery ({!recover}) rolls an ACTIVE lane back and
+    finishes a COMMITTED one.
+
+    Large transactions overflow the fixed log area into extension blocks
+    allocated from the heap and chained behind the lane header; the seeded
+    [pmdk112_tx_overflow_commit] bug (see {!Bugs}) mis-orders the release
+    of this chain during commit — the PMDK 1.12 issue Mumak found. *)
+
+type t
+
+exception Log_full
+(** The fixed log area is exhausted and no heap was provided to grow it. *)
+
+exception Not_active
+(** The transaction handle was already committed or aborted. *)
+
+val begin_ : ?heap:Alloc.t -> Pool.t -> t
+(** Open a transaction on the pool's lane. Raises [Invalid_argument] if one
+    is already open and {!Pool.Corrupted} if the clean lane references a
+    stale undo-log extension (the seeded-bug signature). *)
+
+val add : t -> off:int -> size:int -> unit
+(** Snapshot [size] bytes at [off] so they can be rolled back. Must be
+    called before the range is modified. *)
+
+val add_and_store_i64 : t -> off:int -> int64 -> unit
+(** The common snapshot-then-store pattern for one word. *)
+
+val commit : t -> unit
+(** Make every snapshotted range durable and release the log. *)
+
+val abort : t -> unit
+(** Roll every snapshotted range back to its pre-transaction contents. *)
+
+val run : ?heap:Alloc.t -> Pool.t -> (t -> 'a) -> 'a
+(** [run pool f] runs [f] inside a transaction, committing on normal return
+    and aborting if [f] raises. A [run] nested inside another [run] on the
+    same pool joins the outer transaction (libpmemobj's flattened nesting). *)
+
+val recover :
+  ?heap:Alloc.t -> Pool.t -> [ `Clean | `Completed | `Rolled_back of int ]
+(** Recovery step for the transaction lane, called on a crash image before
+    the application touches any data: rolls back an interrupted transaction
+    or finishes an interrupted commit. Raises {!Pool.Corrupted} on
+    unrepairable log state. *)

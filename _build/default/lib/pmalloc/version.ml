@@ -1,0 +1,20 @@
+(** Library versions, mirroring the PMDK versions used in the evaluation.
+
+    Each version ships with a different set of intrinsic (seeded) bugs —
+    the way PMDK 1.6, 1.8 and 1.12 each had their own published issues —
+    and minor behavioural differences that the benchmarks rely on. *)
+
+type t = V1_6 | V1_8 | V1_12
+
+let to_string = function V1_6 -> "1.6" | V1_8 -> "1.8" | V1_12 -> "1.12"
+let to_int64 = function V1_6 -> 16L | V1_8 -> 18L | V1_12 -> 112L
+
+let of_int64 = function
+  | 16L -> Some V1_6
+  | 18L -> Some V1_8
+  | 112L -> Some V1_12
+  | _ -> None
+
+(** Hashmap Atomic relies on allocation semantics that changed in 1.8
+    ("Hashmap Atomic does not work correctly with PMDK 1.8", section 6.1). *)
+let supports_hashmap_atomic = function V1_6 -> true | V1_8 | V1_12 -> false

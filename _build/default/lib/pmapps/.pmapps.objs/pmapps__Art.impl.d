@@ -1,0 +1,1 @@
+lib/pmapps/art.ml: Bugreg Fun Int64 Kv_intf List Pmalloc Printf Util

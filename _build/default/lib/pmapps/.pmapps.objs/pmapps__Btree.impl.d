@@ -1,0 +1,1 @@
+lib/pmapps/btree.ml: Bugreg Fun Int64 Kv_intf List Option Pmalloc Printf Util

@@ -1,0 +1,1 @@
+lib/pmapps/cceh.ml: Bugreg Hashtbl Int64 Kv_intf Option Pmalloc Printf Util

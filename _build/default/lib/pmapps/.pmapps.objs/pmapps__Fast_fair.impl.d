@@ -1,0 +1,1 @@
+lib/pmapps/fast_fair.ml: Bugreg Fun Hashtbl Int64 Kv_intf List Option Pmalloc Printf Util

@@ -1,0 +1,1 @@
+lib/pmapps/hashmap_tx.ml: Bugreg Hashtbl Int64 Kv_intf List Option Pmalloc Printf Result Util

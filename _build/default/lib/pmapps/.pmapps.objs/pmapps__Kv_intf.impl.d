@@ -1,0 +1,1 @@
+lib/pmapps/kv_intf.ml: Pmalloc Pmem Pmtrace

@@ -1,0 +1,1 @@
+lib/pmapps/level_hash.ml: Bugreg Int64 Kv_intf List Option Pmalloc Printf Util

@@ -1,0 +1,1 @@
+lib/pmapps/rbtree.ml: Bugreg Int64 Kv_intf Pmalloc Pmem Printf Util

@@ -1,0 +1,1 @@
+lib/pmapps/registry.ml: Art Btree Bugreg Cceh Fast_fair Hashmap_atomic Hashmap_tx Kv_intf Level_hash List Rbtree String Wort

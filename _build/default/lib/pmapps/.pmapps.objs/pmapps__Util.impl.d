@@ -1,0 +1,1 @@
+lib/pmapps/util.ml: Int64 Pmalloc Result

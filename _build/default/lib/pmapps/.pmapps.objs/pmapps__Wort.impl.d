@@ -1,0 +1,1 @@
+lib/pmapps/wort.ml: Bugreg Bytes Int64 Kv_intf Pmalloc Printf Util

@@ -1,0 +1,392 @@
+(** Persistent Adaptive Radix Tree — the analogue of PMDK's libart example,
+    the structure in which Mumak found the count/children inconsistency
+    (pmem/pmdk issue 5512, paper section 6.4).
+
+    Byte-wise radix over the little-endian bytes of the key, with ART's
+    adaptive node sizes: a node starts as a Node4, grows to Node16 and then
+    Node256 by copy-then-atomic-pointer-swap. Leaves are tagged pointers
+    (low bit set) holding the full key, so lazy expansion applies: a leaf
+    sits as high as its key is unambiguous, and a conflict pushes both
+    leaves one byte deeper.
+
+    Every mutation is a single 8-byte atomic pointer store over fully
+    persisted data; each node maintains a child counter whose invariant
+    ([count <= populated <= count + 1]) the recovery procedure checks —
+    inserts persist the child pointer {e before} bumping the counter, so a
+    crash can only leave the counter one behind.
+
+    Seeded bugs: [art_count_before_child] (the libart bug: the counter is
+    persisted before the child pointer; a crash in the window leaves
+    [count > populated] and later insertions account children that do not
+    exist), [art_grow_unpersisted] (the grown replacement node is linked
+    before it is flushed). *)
+
+open Kv_intf
+
+let name = "art"
+let min_pool_size = 1 lsl 22
+let meta_bytes = 64
+
+let tag_node4 = 4L
+let tag_node16 = 16L
+let tag_node256 = 256L
+
+let bug_count_before_child =
+  Bugreg.register ~id:"art_count_before_child" ~component:"art" ~taxonomy:Bugreg.Atomicity
+    ~description:
+      "node child counter persisted before the child pointer (the libart bug): a crash \
+       in the window strands count > populated children"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bug_grow_swap_before_copy =
+  Bugreg.register ~id:"art_grow_swap_before_copy" ~component:"art"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:
+      "node growth publishes the replacement before copying the children into it; a \
+       crash in the window orphans the whole subtree"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bugs = [ bug_count_before_child; bug_grow_swap_before_copy ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int; (* root pointer + global count *)
+  framer : framer;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+let persist t ~off ~size = Pmalloc.Pool.persist t.pool ~off ~size
+
+(* --- tagged pointers: low bit set = leaf --- *)
+
+let is_leaf p = p land 1 = 1
+let leaf_addr p = p land lnot 1
+let tag_leaf addr = addr lor 1
+
+(* --- leaves: key, value, deleted flag (32 bytes, chunk-rounded) --- *)
+
+let leaf_key t l = read t (leaf_addr l)
+let leaf_value t l = read t (leaf_addr l + 8)
+let leaf_deleted t l = read t (leaf_addr l + 16) = 1L
+
+let alloc_leaf t ~key ~value =
+  let l = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:32 in
+  write t l key;
+  write t (l + 8) value;
+  persist t ~off:l ~size:32;
+  tag_leaf l
+
+(* --- nodes ---
+   header: type tag @0, child count @8
+   Node4:   keys 4x1B @16, children 4x8B @24  (64 bytes)
+   Node16:  keys 16x1B @16, children 16x8B @32 (192 bytes)
+   Node256: children 256x8B @16 (2112 bytes) *)
+
+let node_tag t n = read t n
+let node_count t n = Int64.to_int (read t (n + 8))
+
+let node_bytes tag =
+  if Int64.equal tag tag_node4 then 64
+  else if Int64.equal tag tag_node16 then 192
+  else 2112
+
+let key_slot_off tag = if Int64.equal tag tag_node4 then 16 else 16
+let child_slot_off tag i =
+  if Int64.equal tag tag_node4 then 24 + (8 * i)
+  else if Int64.equal tag tag_node16 then 32 + (8 * i)
+  else 16 + (8 * i)
+
+let capacity tag =
+  if Int64.equal tag tag_node4 then 4 else if Int64.equal tag tag_node16 then 16 else 256
+
+let alloc_node t tag =
+  let n = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:(node_bytes tag) in
+  write t n tag;
+  persist t ~off:n ~size:(node_bytes tag);
+  n
+
+(* populated children of a node, as (byte, slot address, pointer) *)
+let children t n =
+  let tag = node_tag t n in
+  if Int64.equal tag tag_node256 then
+    List.filter_map
+      (fun b ->
+        let slot = n + child_slot_off tag b in
+        let p = Int64.to_int (read t slot) in
+        if p = 0 then None else Some (b, slot, p))
+      (List.init 256 Fun.id)
+  else
+    (* the first [count] sorted slots; a crash may have populated one more *)
+    List.filter_map
+      (fun i ->
+        let slot = n + child_slot_off tag i in
+        let p = Int64.to_int (read t slot) in
+        if p = 0 then None
+        else Some (Pmalloc.Pool.read_u8 t.pool ~off:(n + key_slot_off tag + i), slot, p))
+      (List.init (capacity tag) Fun.id)
+
+let find_child t n byte =
+  let tag = node_tag t n in
+  if Int64.equal tag tag_node256 then
+    let slot = n + child_slot_off tag byte in
+    let p = Int64.to_int (read t slot) in
+    if p = 0 then None else Some (slot, p)
+  else
+    List.find_map
+      (fun (b, slot, p) -> if b = byte then Some (slot, p) else None)
+      (children t n)
+
+let key_byte key depth = Int64.to_int (Int64.shift_right_logical key (8 * depth)) land 0xff
+
+(* --- lifecycle --- *)
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let t = { pool; heap; meta; framer } in
+  let root = alloc_node t tag_node4 in
+  write t meta (Int64.of_int root);
+  write t (meta + 8) 0L;
+  persist t ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Art.open_existing: pool has no root"
+
+let root t = Int64.to_int (read t t.meta)
+let count t = Int64.to_int (read t (t.meta + 8))
+
+let set_global_count t c =
+  write t (t.meta + 8) (Int64.of_int c);
+  persist t ~off:(t.meta + 8) ~size:8
+
+(* --- search --- *)
+
+let rec find t p ~key ~depth =
+  if p = 0 then None
+  else if is_leaf p then if Int64.equal (leaf_key t p) key then Some p else None
+  else
+    match find_child t p (key_byte key depth) with
+    | None -> None
+    | Some (_, child) -> find t child ~key ~depth:(depth + 1)
+
+let get t ~key =
+  t.framer.frame "art.get" (fun () ->
+      match find t (root t) ~key ~depth:0 with
+      | Some l when not (leaf_deleted t l) -> Some (leaf_value t l)
+      | Some _ | None -> None)
+
+(* --- insertion --- *)
+
+exception Node_full
+
+(* Publish [child] under [byte] in [n]: the pointer store is the atomic
+   commit; the counter follows. The seeded libart bug reverses the order. *)
+let add_child t n ~byte ~child =
+  let tag = node_tag t n in
+  let cnt = node_count t n in
+  if cnt >= capacity tag then raise Node_full;
+  let bump () =
+    write t (n + 8) (Int64.of_int (cnt + 1));
+    persist t ~off:(n + 8) ~size:8
+  in
+  let publish () =
+    if Int64.equal tag tag_node256 then begin
+      write t (n + child_slot_off tag byte) (Int64.of_int child);
+      persist t ~off:(n + child_slot_off tag byte) ~size:8
+    end
+    else begin
+      Pmalloc.Pool.write_u8 t.pool ~off:(n + key_slot_off tag + cnt) byte;
+      persist t ~off:(n + key_slot_off tag + cnt) ~size:1;
+      write t (n + child_slot_off tag cnt) (Int64.of_int child);
+      persist t ~off:(n + child_slot_off tag cnt) ~size:8
+    end
+  in
+  if Bugreg.enabled bug_count_before_child.Bugreg.id then begin
+    (* BUG (libart): the counter races ahead of the child pointer *)
+    bump ();
+    publish ()
+  end
+  else begin
+    publish ();
+    bump ()
+  end
+
+(* Swap the pointer at [link] (the parent's slot, or the meta root) from the
+   old node to [fresh]: one atomic 8-byte store. *)
+let swap_link t ~link ~fresh =
+  write t link (Int64.of_int fresh);
+  persist t ~off:link ~size:8
+
+(* Grow [n] to the next node size; returns the replacement, fully persisted
+   and ready to swap in. The seeded bug publishes the replacement first and
+   fills it in afterwards — the crash window orphans the subtree. *)
+let grow t ~link n =
+  t.framer.frame "art.grow" (fun () ->
+      let tag = node_tag t n in
+      let bigger = if Int64.equal tag tag_node4 then tag_node16 else tag_node256 in
+      let fresh = alloc_node t bigger in
+      if Bugreg.enabled bug_grow_swap_before_copy.Bugreg.id then
+        (* BUG: the empty replacement goes live before the copy *)
+        swap_link t ~link ~fresh;
+      List.iter
+        (fun (b, _, p) ->
+          if Int64.equal bigger tag_node256 then
+            write t (fresh + child_slot_off bigger b) (Int64.of_int p)
+          else begin
+            let i = node_count t fresh in
+            Pmalloc.Pool.write_u8 t.pool ~off:(fresh + key_slot_off bigger + i) b;
+            write t (fresh + child_slot_off bigger i) (Int64.of_int p);
+            write t (fresh + 8) (Int64.of_int (i + 1))
+          end)
+        (children t n);
+      if Int64.equal bigger tag_node256 then
+        write t (fresh + 8) (Int64.of_int (node_count t n));
+      persist t ~off:fresh ~size:(node_bytes bigger);
+      if not (Bugreg.enabled bug_grow_swap_before_copy.Bugreg.id) then
+        swap_link t ~link ~fresh;
+      fresh)
+
+let rec insert t ~link ~node ~key ~value ~depth =
+  match find_child t node (key_byte key depth) with
+  | Some (slot, p) when is_leaf p ->
+      if Int64.equal (leaf_key t p) key then begin
+        (* in-place atomic update / revive *)
+        let l = leaf_addr p in
+        write t (l + 8) value;
+        persist t ~off:(l + 8) ~size:8;
+        if leaf_deleted t p then begin
+          write t (l + 16) 0L;
+          persist t ~off:(l + 16) ~size:8;
+          set_global_count t (count t + 1)
+        end
+      end
+      else
+        (* conflict: push both leaves one byte deeper *)
+        t.framer.frame "art.split_leaf" (fun () ->
+            let fresh = alloc_node t tag_node4 in
+            add_child t fresh ~byte:(key_byte (leaf_key t p) (depth + 1)) ~child:p;
+            persist t ~off:fresh ~size:64;
+            swap_link t ~link:slot ~fresh;
+            insert t ~link:slot ~node:fresh ~key ~value ~depth:(depth + 1))
+  | Some (slot, child) -> insert t ~link:slot ~node:child ~key ~value ~depth:(depth + 1)
+  | None -> (
+      let leaf = alloc_leaf t ~key ~value in
+      match add_child t node ~byte:(key_byte key depth) ~child:leaf with
+      | () -> set_global_count t (count t + 1)
+      | exception Node_full ->
+          t.framer.frame "art.grow_and_retry" (fun () ->
+              let fresh = grow t ~link node in
+              add_child t fresh ~byte:(key_byte key depth) ~child:leaf;
+              set_global_count t (count t + 1)))
+
+let put t ~key ~value =
+  t.framer.frame "art.put" (fun () ->
+      insert t ~link:t.meta ~node:(root t) ~key ~value ~depth:0)
+
+let delete t ~key =
+  t.framer.frame "art.delete" (fun () ->
+      match find t (root t) ~key ~depth:0 with
+      | Some l when not (leaf_deleted t l) ->
+          write t (leaf_addr l + 16) 1L;
+          persist t ~off:(leaf_addr l + 16) ~size:8;
+          set_global_count t (count t - 1);
+          true
+      | Some _ | None -> false)
+
+(* --- consistency checking --- *)
+
+(* Walk the tree: node invariants (valid tag, count <= populated <= count+1
+   — the pointer-then-counter protocol can be one behind, never ahead),
+   pointers in the heap, leaf keys routing to their position. Returns the
+   number of live leaves. *)
+let validate t =
+  let open Util in
+  let rec walk p ~depth ~path_ok =
+    if is_leaf p then
+      let* () =
+        check_that (in_heap t.pool (leaf_addr p))
+          (Printf.sprintf "leaf %d outside heap" p)
+      in
+      let* () = check_that (path_ok (leaf_key t p)) "leaf key does not route here" in
+      Ok (if leaf_deleted t p then 0 else 1)
+    else
+      let* () = check_that (in_heap t.pool p) (Printf.sprintf "node %d outside heap" p) in
+      let tag = node_tag t p in
+      let* () =
+        check_that
+          (List.exists (Int64.equal tag) [ tag_node4; tag_node16; tag_node256 ])
+          (Printf.sprintf "node %d: invalid tag %Ld" p tag)
+      in
+      let kids = children t p in
+      let populated = List.length kids in
+      let cnt = node_count t p in
+      let* () =
+        check_that
+          (cnt <= populated && populated - cnt <= 1)
+          (Printf.sprintf
+             "node %d: counter %d inconsistent with %d populated children (the libart \
+              signature)"
+             p cnt populated)
+      in
+      let rec each acc = function
+        | [] -> Ok acc
+        | (b, _, child) :: rest ->
+            let* live =
+              walk child ~depth:(depth + 1) ~path_ok:(fun k ->
+                  path_ok k && key_byte k depth = b)
+            in
+            each (acc + live) rest
+      in
+      each 0 kids
+  in
+  walk (root t) ~depth:0 ~path_ok:(fun _ -> true)
+
+let check t =
+  let open Util in
+  let* live = validate t in
+  check_that
+    (abs (live - count t) <= 1)
+    (Printf.sprintf "element count mismatch: %d live leaves, counter %d" live (count t))
+
+(* Complete an interrupted insert: a node whose populated children exceed
+   its counter by one holds a fully linked child the crash left uncounted;
+   recovery adopts it. *)
+let repair_counters t =
+  let rec walk p =
+    if not (is_leaf p) then begin
+      let kids = children t p in
+      let populated = List.length kids in
+      if node_count t p = populated - 1 then begin
+        write t (p + 8) (Int64.of_int populated);
+        persist t ~off:(p + 8) ~size:8
+      end;
+      List.iter (fun (_, _, child) -> walk child) kids
+    end
+  in
+  walk (root t)
+
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      repair_counters t;
+      match validate t with
+      | Error e -> Error ("art check: " ^ e)
+      | Ok live when abs (live - count t) > 1 ->
+          (* a single in-flight operation can leave the counter one off; a
+             larger gap means reachable data was lost *)
+          Error
+            (Printf.sprintf
+               "art check: %d live leaves but the counter says %d -- data loss" live
+               (count t))
+      | Ok live ->
+          if live <> count t then set_global_count t live;
+          let probe_key = Int64.max_int in
+          put t ~key:probe_key ~value:1L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 1L then Ok () else Error "art probe: inserted key not visible")

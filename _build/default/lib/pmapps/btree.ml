@@ -1,0 +1,340 @@
+(** Persistent B+tree on pmalloc transactions — the analogue of PMDK's
+    libpmemobj [btree] example data store.
+
+    All keys live in the leaves; internal nodes hold separators. Updates run
+    inside undo-log transactions: every node is snapshotted before being
+    modified, so after a crash the library rollback restores a consistent
+    tree. Deletion removes from the leaf only (no rebalancing), which keeps
+    the structure valid for lookups.
+
+    Node layout (192 bytes = 3 chunks):
+    {v
+      0: nkeys   8: is_leaf   16+8i: keys[7]
+      leaf:      72+8i: values[7]   128: next-leaf pointer
+      internal:  72+8i: children[8]
+    v}
+
+    Seeded bugs: [btree_insert_no_tx] (leaf modified without snapshot),
+    [btree_count_outside_tx] (counter updated after the commit point,
+    unfenced), [btree_redundant_persist] (meta persisted twice per put). *)
+
+open Kv_intf
+
+let name = "btree"
+let min_pool_size = 1 lsl 21
+let max_keys = 7
+let node_bytes = 192
+let meta_bytes = 64
+
+let bug_insert_no_tx =
+  Bugreg.register ~id:"btree_insert_no_tx" ~component:"btree" ~taxonomy:Bugreg.Atomicity
+    ~description:"leaf insertion shifts entries without undo-log snapshot"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bug_count_outside_tx =
+  Bugreg.register ~id:"btree_count_outside_tx" ~component:"btree" ~taxonomy:Bugreg.Durability
+    ~description:"element counter updated after tx commit, without flush or fence"
+    ~detectors:[ "mumak"; "witcher"; "pmdebugger"; "xfdetector"; "agamotto" ]
+
+let bug_redundant_persist =
+  Bugreg.register ~id:"btree_redundant_persist" ~component:"btree"
+    ~taxonomy:Bugreg.Redundant_flush
+    ~description:"meta block persisted twice on every put"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bugs = [ bug_insert_no_tx; bug_count_outside_tx; bug_redundant_persist ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int; (* meta block address: root pointer + element count *)
+  framer : framer;
+}
+
+(* --- node accessors --- *)
+
+let nkeys t node = Int64.to_int (Pmalloc.Pool.read_i64 t.pool ~off:node)
+let set_nkeys t node n = Pmalloc.Pool.write_i64 t.pool ~off:node (Int64.of_int n)
+let is_leaf t node = Pmalloc.Pool.read_i64 t.pool ~off:(node + 8) <> 0L
+let set_is_leaf t node b =
+  Pmalloc.Pool.write_i64 t.pool ~off:(node + 8) (if b then 1L else 0L)
+
+let key t node i = Pmalloc.Pool.read_i64 t.pool ~off:(node + 16 + (8 * i))
+let set_key t node i v = Pmalloc.Pool.write_i64 t.pool ~off:(node + 16 + (8 * i)) v
+let value t node i = Pmalloc.Pool.read_i64 t.pool ~off:(node + 72 + (8 * i))
+let set_value t node i v = Pmalloc.Pool.write_i64 t.pool ~off:(node + 72 + (8 * i)) v
+let child t node i = Int64.to_int (Pmalloc.Pool.read_i64 t.pool ~off:(node + 72 + (8 * i)))
+let set_child t node i c =
+  Pmalloc.Pool.write_i64 t.pool ~off:(node + 72 + (8 * i)) (Int64.of_int c)
+
+let next_leaf t node = Int64.to_int (Pmalloc.Pool.read_i64 t.pool ~off:(node + 128))
+let set_next_leaf t node c =
+  Pmalloc.Pool.write_i64 t.pool ~off:(node + 128) (Int64.of_int c)
+
+let root t = Int64.to_int (Pmalloc.Pool.read_i64 t.pool ~off:t.meta)
+let count t = Int64.to_int (Pmalloc.Pool.read_i64 t.pool ~off:(t.meta + 8))
+
+(* Snapshot a whole node before its first modification in this tx. *)
+let snap tx node = Pmalloc.Tx.add tx ~off:node ~size:node_bytes
+
+let alloc_node t ~leaf =
+  let node = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:node_bytes in
+  set_is_leaf t node leaf;
+  Pmalloc.Pool.persist t.pool ~off:node ~size:node_bytes;
+  node
+
+(* --- lifecycle --- *)
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let t = { pool; heap; meta; framer } in
+  let leaf = alloc_node t ~leaf:true in
+  Pmalloc.Pool.write_i64 pool ~off:meta (Int64.of_int leaf);
+  Pmalloc.Pool.write_i64 pool ~off:(meta + 8) 0L;
+  Pmalloc.Pool.persist pool ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Btree.open_existing: pool has no root"
+
+(* --- search --- *)
+
+(* First child index whose subtree may contain [k]: smallest i with
+   k < keys[i], or nkeys if none. *)
+let find_child t node k =
+  let n = nkeys t node in
+  let rec go i = if i >= n then n else if Int64.compare k (key t node i) < 0 then i else go (i + 1) in
+  go 0
+
+let rec descend t node k =
+  if is_leaf t node then node
+  else t.framer.frame "btree.descend" (fun () -> descend t (child t node (find_child t node k)) k)
+
+let leaf_pos t leaf k =
+  let n = nkeys t leaf in
+  let rec go i =
+    if i >= n then None else if Int64.equal (key t leaf i) k then Some i else go (i + 1)
+  in
+  go 0
+
+let get t ~key:k =
+  t.framer.frame "btree.get" (fun () ->
+      let leaf = descend t (root t) k in
+      Option.map (fun i -> value t leaf i) (leaf_pos t leaf k))
+
+(* --- insertion --- *)
+
+(* Split full child [ci] of [parent]; parent must not be full. *)
+let split_child t tx parent ci =
+  t.framer.frame "btree.split_child" (fun () ->
+      let c = child t parent ci in
+      let right = alloc_node t ~leaf:(is_leaf t c) in
+      snap tx c;
+      snap tx parent;
+      let sep =
+        if is_leaf t c then begin
+          (* leaf split: upper half moves right, separator is copied up *)
+          let keep = (max_keys + 1) / 2 in
+          for i = keep to max_keys - 1 do
+            set_key t right (i - keep) (key t c i);
+            set_value t right (i - keep) (value t c i)
+          done;
+          set_nkeys t right (max_keys - keep);
+          set_next_leaf t right (next_leaf t c);
+          set_next_leaf t c right;
+          set_nkeys t c keep;
+          key t right 0
+        end
+        else begin
+          (* internal split: middle separator moves up *)
+          let mid = max_keys / 2 in
+          for i = mid + 1 to max_keys - 1 do
+            set_key t right (i - mid - 1) (key t c i)
+          done;
+          for i = mid + 1 to max_keys do
+            set_child t right (i - mid - 1) (child t c i)
+          done;
+          set_nkeys t right (max_keys - mid - 1);
+          set_nkeys t c mid;
+          key t c mid
+        end
+      in
+      Pmalloc.Pool.persist t.pool ~off:right ~size:node_bytes;
+      (* shift parent separators/children right of ci *)
+      let n = nkeys t parent in
+      for i = n - 1 downto ci do
+        set_key t parent (i + 1) (key t parent i)
+      done;
+      for i = n downto ci + 1 do
+        set_child t parent (i + 1) (child t parent i)
+      done;
+      set_key t parent ci sep;
+      set_child t parent (ci + 1) right;
+      set_nkeys t parent (n + 1))
+
+(* Insert into a non-full subtree. Returns true when a new key was added
+   (false = in-place update). *)
+let rec insert_nonfull t tx node k v =
+  if is_leaf t node then begin
+    match leaf_pos t node k with
+    | Some i ->
+        snap tx node;
+        set_value t node i v;
+        false
+    | None ->
+        (* BUG (btree_insert_no_tx): the shift below runs without an undo
+           snapshot, so a crash mid-shift cannot be rolled back. *)
+        if not (Bugreg.enabled bug_insert_no_tx.Bugreg.id) then snap tx node;
+        let n = nkeys t node in
+        let rec shift i =
+          if i >= 0 && Int64.compare (key t node i) k > 0 then begin
+            set_key t node (i + 1) (key t node i);
+            set_value t node (i + 1) (value t node i);
+            shift (i - 1)
+          end
+          else i
+        in
+        let pos = shift (n - 1) + 1 in
+        set_key t node pos k;
+        set_value t node pos v;
+        set_nkeys t node (n + 1);
+        true
+  end
+  else
+    t.framer.frame "btree.insert_nonfull" (fun () ->
+        let ci = find_child t node k in
+        let ci =
+          if nkeys t (child t node ci) = max_keys then begin
+            split_child t tx node ci;
+            if Int64.compare k (key t node ci) >= 0 then ci + 1 else ci
+          end
+          else ci
+        in
+        insert_nonfull t tx (child t node ci) k v)
+
+let put t ~key:k ~value:v =
+  t.framer.frame "btree.put" (fun () ->
+      let added = ref false in
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          let r = root t in
+          let r =
+            if nkeys t r = max_keys then begin
+              t.framer.frame "btree.split_root" (fun () ->
+                  let new_root = alloc_node t ~leaf:false in
+                  set_child t new_root 0 r;
+                  Pmalloc.Pool.persist t.pool ~off:new_root ~size:node_bytes;
+                  split_child t tx new_root 0;
+                  Pmalloc.Tx.add tx ~off:t.meta ~size:8;
+                  Pmalloc.Pool.write_i64 t.pool ~off:t.meta (Int64.of_int new_root);
+                  new_root)
+            end
+            else r
+          in
+          added := insert_nonfull t tx r k v;
+          if !added && not (Bugreg.enabled bug_count_outside_tx.Bugreg.id) then begin
+            Pmalloc.Tx.add tx ~off:(t.meta + 8) ~size:8;
+            Pmalloc.Pool.write_i64 t.pool ~off:(t.meta + 8)
+              (Int64.of_int (count t + 1))
+          end);
+      (* BUG (btree_count_outside_tx): the counter is bumped after the
+         commit point, with no flush and no fence. *)
+      if !added && Bugreg.enabled bug_count_outside_tx.Bugreg.id then
+        Pmalloc.Pool.write_i64 t.pool ~off:(t.meta + 8) (Int64.of_int (count t + 1));
+      (* BUG (btree_redundant_persist): a second, useless persist. *)
+      if Bugreg.enabled bug_redundant_persist.Bugreg.id then begin
+        Pmalloc.Pool.persist t.pool ~off:t.meta ~size:meta_bytes;
+        Pmalloc.Pool.persist t.pool ~off:t.meta ~size:meta_bytes
+      end)
+
+(* --- deletion (leaf-local, no rebalancing) --- *)
+
+let delete t ~key:k =
+  t.framer.frame "btree.delete" (fun () ->
+      let removed = ref false in
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          let leaf = descend t (root t) k in
+          match leaf_pos t leaf k with
+          | None -> ()
+          | Some pos ->
+              snap tx leaf;
+              let n = nkeys t leaf in
+              for i = pos to n - 2 do
+                set_key t leaf i (key t leaf (i + 1));
+                set_value t leaf i (value t leaf (i + 1))
+              done;
+              set_nkeys t leaf (n - 1);
+              Pmalloc.Tx.add tx ~off:(t.meta + 8) ~size:8;
+              Pmalloc.Pool.write_i64 t.pool ~off:(t.meta + 8) (Int64.of_int (count t - 1));
+              removed := true);
+      !removed)
+
+(* --- consistency check --- *)
+
+let check t =
+  let open Util in
+  let pool = t.pool in
+  let rec walk node ~lo ~hi ~depth =
+    let* () = check_that (in_heap pool node) (Printf.sprintf "node %d outside heap" node) in
+    let n = nkeys t node in
+    let* () =
+      check_that (n >= 0 && n <= max_keys) (Printf.sprintf "node %d: nkeys %d" node n)
+    in
+    let* () =
+      check_list
+        (fun i ->
+          let k = key t node i in
+          let* () =
+            check_that
+              (i = 0 || Int64.compare (key t node (i - 1)) k < 0)
+              (Printf.sprintf "node %d: keys not strictly sorted at %d" node i)
+          in
+          let* () =
+            check_that
+              (match lo with None -> true | Some l -> Int64.compare k l >= 0)
+              (Printf.sprintf "node %d: key below subtree bound" node)
+          in
+          check_that
+            (match hi with None -> true | Some h -> Int64.compare k h < 0)
+            (Printf.sprintf "node %d: key above subtree bound" node))
+        (List.init n Fun.id)
+    in
+    if is_leaf t node then Ok (n, depth)
+    else
+      let* () = check_that (n >= 1) (Printf.sprintf "internal node %d empty" node) in
+      let rec children_walk i total leaf_depth =
+        if i > n then Ok (total, leaf_depth)
+        else
+          let lo_i = if i = 0 then lo else Some (key t node (i - 1)) in
+          let hi_i = if i = n then hi else Some (key t node i) in
+          let* total_i, depth_i = walk (child t node i) ~lo:lo_i ~hi:hi_i ~depth:(depth + 1) in
+          let* () =
+            check_that
+              (match leaf_depth with None -> true | Some d -> d = depth_i)
+              (Printf.sprintf "node %d: uneven leaf depth" node)
+          in
+          children_walk (i + 1) (total + total_i) (Some depth_i)
+      in
+      let* total, leaf_depth = children_walk 0 0 None in
+      Ok (total, Option.value ~default:depth leaf_depth)
+  in
+  let* total, _depth = walk (root t) ~lo:None ~hi:None ~depth:0 in
+  check_that (total = count t)
+    (Printf.sprintf "element count mismatch: counted %d, stored %d" total (count t))
+
+(* --- recovery procedure --- *)
+
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      match check t with
+      | Error e -> Error ("btree check: " ^ e)
+      | Ok () ->
+          (* probe: the structure must be operable after recovery *)
+          let probe_key = Int64.min_int in
+          put t ~key:probe_key ~value:0L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 0L then Ok () else Error "btree probe: inserted key not visible")

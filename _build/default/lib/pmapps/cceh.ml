@@ -1,0 +1,321 @@
+(** CCEH-style persistent extendible hash table (FAST'19).
+
+    A directory of 2^G segment pointers (G fixed at 8 here) routes the top
+    bits of the hash to segments of 64 slots. Segment overflow triggers a
+    split: a sibling segment takes the keys whose next hash bit is 1 and the
+    directory run is rewritten. Directory rewrites go through the pool's
+    redo log, making the split failure-atomic; stale slot residue left in
+    the old segment is swept by recovery, and lookups never see it because
+    routing has already moved.
+
+    Segment layout: 64-byte header (local depth) + 64 slots of 16 bytes
+    (key, value); key 0 marks an empty slot, so client keys must be
+    non-zero (the workload generator guarantees this).
+
+    Seeded bugs: [cceh_split_dir_no_log] (directory rewritten with plain
+    stores instead of the redo log — a crash mid-rewrite tears the run),
+    [cceh_value_after_key] (the key — the commit store — is written before
+    the value; output-equivalence tools catch the stale value, recovery
+    cannot), [cceh_dir_unflushed] (directory updates never flushed). *)
+
+open Kv_intf
+
+let name = "cceh"
+let min_pool_size = 1 lsl 22
+let global_depth = 8
+let dir_entries = 1 lsl global_depth
+let slots_per_segment = 16
+let probe_limit = 8
+let segment_bytes = 64 + (slots_per_segment * 16)
+let meta_bytes = 64
+
+let bug_split_dir_no_log =
+  Bugreg.register ~id:"cceh_split_dir_no_log" ~component:"cceh" ~taxonomy:Bugreg.Atomicity
+    ~description:"segment split rewrites the directory with plain stores, not the redo log"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bug_value_after_key =
+  Bugreg.register ~id:"cceh_value_after_key" ~component:"cceh" ~taxonomy:Bugreg.Ordering
+    ~description:
+      "the key (commit store) is written before the value; a crash in between \
+       publishes a slot with a stale value"
+    ~detectors:[ "witcher" ]
+
+let bug_dir_unflushed =
+  Bugreg.register ~id:"cceh_dir_unflushed" ~component:"cceh" ~taxonomy:Bugreg.Durability
+    ~description:"directory entry stores during split are never flushed"
+    ~detectors:[ "mumak"; "pmdebugger"; "xfdetector"; "agamotto"; "witcher" ]
+
+let bugs = [ bug_split_dir_no_log; bug_value_after_key; bug_dir_unflushed ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int; (* dir addr, count *)
+  framer : framer;
+}
+
+exception Table_full
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+let persist t ~off ~size = Pmalloc.Pool.persist t.pool ~off ~size
+
+let dir_off t = Int64.to_int (read t t.meta)
+let count t = Int64.to_int (read t (t.meta + 8))
+let dir_entry t i = Int64.to_int (read t (dir_off t + (8 * i)))
+let local_depth t seg = Int64.to_int (read t seg)
+let slot_addr seg s = seg + 64 + (16 * s)
+let slot_key t seg s = read t (slot_addr seg s)
+let slot_value t seg s = read t (slot_addr seg s + 8)
+
+let hash k = Util.mix64 k
+let dir_index h = Int64.to_int (Int64.shift_right_logical h (64 - global_depth))
+let slot_start h = Int64.to_int (Int64.logand h 0x3FL)
+
+let alloc_segment t ~depth =
+  let seg = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:segment_bytes in
+  write t seg (Int64.of_int depth);
+  persist t ~off:seg ~size:segment_bytes;
+  seg
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let dir = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(8 * dir_entries) in
+  let t = { pool; heap; meta; framer } in
+  write t meta (Int64.of_int dir);
+  write t (meta + 8) 0L;
+  persist t ~off:meta ~size:meta_bytes;
+  let seg0 = alloc_segment t ~depth:0 in
+  for i = 0 to dir_entries - 1 do
+    write t (dir + (8 * i)) (Int64.of_int seg0)
+  done;
+  persist t ~off:dir ~size:(8 * dir_entries);
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Cceh.open_existing: pool has no root"
+
+let find_slot t k =
+  let h = hash k in
+  let seg = dir_entry t (dir_index h) in
+  let start = slot_start h in
+  let rec probe i =
+    if i = probe_limit then None
+    else
+      let s = (start + i) mod slots_per_segment in
+      if Int64.equal (slot_key t seg s) k then Some (seg, s) else probe (i + 1)
+  in
+  probe 0
+
+let get t ~key:k =
+  t.framer.frame "cceh.get" (fun () ->
+      Option.map (fun (seg, s) -> slot_value t seg s) (find_slot t k))
+
+let set_count t c =
+  write t (t.meta + 8) (Int64.of_int c);
+  persist t ~off:(t.meta + 8) ~size:8
+
+(* Rewrite the directory run [lo, hi) to point at [seg] and refresh the old
+   segment's local depth, failure-atomically via the redo log (unless the
+   seeded split bug asks for plain stores). *)
+let rewrite_directory t ~lo ~hi ~seg ~old_seg ~new_depth =
+  if
+    Bugreg.enabled bug_split_dir_no_log.Bugreg.id
+    || Bugreg.enabled bug_dir_unflushed.Bugreg.id
+  then begin
+    (* BUG: plain stores; a crash mid-loop tears the run *)
+    for i = lo to hi - 1 do
+      write t (dir_off t + (8 * i)) (Int64.of_int seg);
+      if not (Bugreg.enabled bug_dir_unflushed.Bugreg.id) then
+        Pmalloc.Pool.flush t.pool ~off:(dir_off t + (8 * i)) ~size:8
+    done;
+    write t old_seg (Int64.of_int new_depth);
+    Pmalloc.Pool.flush t.pool ~off:old_seg ~size:8;
+    Pmalloc.Pool.drain t.pool
+  end
+  else begin
+    let b = Pmalloc.Redo.begin_ () in
+    for i = lo to hi - 1 do
+      Pmalloc.Redo.add b ~addr:(dir_off t + (8 * i)) ~value:(Int64.of_int seg)
+    done;
+    Pmalloc.Redo.add b ~addr:old_seg ~value:(Int64.of_int new_depth);
+    Pmalloc.Redo.commit t.pool b
+  end
+
+(* Split the segment serving [h]: keys whose (depth+1)-th routing bit is 1
+   move to a fresh sibling. *)
+let split t h =
+  t.framer.frame "cceh.split" (fun () ->
+      let idx = dir_index h in
+      let seg = dir_entry t idx in
+      let depth = local_depth t seg in
+      if depth >= global_depth then raise Table_full;
+      let run = dir_entries lsr depth in
+      let lo = idx / run * run in
+      let mid = lo + (run / 2) in
+      let hi = lo + run in
+      let sibling = alloc_segment t ~depth:(depth + 1) in
+      (* copy the moving keys into the sibling *)
+      for s = 0 to slots_per_segment - 1 do
+        let k = slot_key t seg s in
+        if not (Int64.equal k 0L) then begin
+          let i = dir_index (hash k) in
+          if i >= mid then begin
+            let start = slot_start (hash k) in
+            let rec place j =
+              (* the sibling is still unreachable, so bailing out here is
+                 safe: nothing visible has been modified yet *)
+              if j = probe_limit then raise Table_full;
+              let s' = (start + j) mod slots_per_segment in
+              if Int64.equal (slot_key t sibling s') 0L then begin
+                write t (slot_addr sibling s' + 8) (slot_value t seg s);
+                write t (slot_addr sibling s') k
+              end
+              else place (j + 1)
+            in
+            place 0
+          end
+        end
+      done;
+      persist t ~off:sibling ~size:segment_bytes;
+      (* atomically route the upper half of the run to the sibling *)
+      rewrite_directory t ~lo:mid ~hi ~seg:sibling ~old_seg:seg ~new_depth:(depth + 1);
+      (* sweep moved keys out of the old segment (recovery redoes this if
+         we crash mid-sweep) *)
+      for s = 0 to slots_per_segment - 1 do
+        let k = slot_key t seg s in
+        if (not (Int64.equal k 0L)) && dir_index (hash k) >= mid then
+          write t (slot_addr seg s) 0L
+      done;
+      persist t ~off:(seg + 64) ~size:(slots_per_segment * 16))
+
+let rec put t ~key:k ~value:v =
+  if Int64.equal k 0L then invalid_arg "Cceh.put: key 0 is reserved";
+  t.framer.frame "cceh.put" (fun () ->
+      match find_slot t k with
+      | Some (seg, s) ->
+          write t (slot_addr seg s + 8) v;
+          persist t ~off:(slot_addr seg s + 8) ~size:8
+      | None ->
+          let h = hash k in
+          let seg = dir_entry t (dir_index h) in
+          let start = slot_start h in
+          let rec probe i =
+            if i = probe_limit then begin
+              split t h;
+              put t ~key:k ~value:v
+            end
+            else
+              let s = (start + i) mod slots_per_segment in
+              if Int64.equal (slot_key t seg s) 0L then
+                t.framer.frame "cceh.insert" (fun () ->
+                    if Bugreg.enabled bug_value_after_key.Bugreg.id then begin
+                      (* BUG: commit store first, payload second *)
+                      write t (slot_addr seg s) k;
+                      write t (slot_addr seg s + 8) v
+                    end
+                    else begin
+                      write t (slot_addr seg s + 8) v;
+                      write t (slot_addr seg s) k
+                    end;
+                    persist t ~off:(slot_addr seg s) ~size:16;
+                    set_count t (count t + 1))
+              else probe (i + 1)
+          in
+          probe 0)
+
+let delete t ~key:k =
+  t.framer.frame "cceh.delete" (fun () ->
+      match find_slot t k with
+      | None -> false
+      | Some (seg, s) ->
+          write t (slot_addr seg s) 0L;
+          persist t ~off:(slot_addr seg s) ~size:8;
+          set_count t (count t - 1);
+          true)
+
+(* --- consistency checking --- *)
+
+(* Directory structure invariant: every entry points into the heap, and the
+   entries pointing at one segment form exactly the aligned run its local
+   depth prescribes. *)
+let check_directory t =
+  let open Util in
+  let rec entries i =
+    if i = dir_entries then Ok ()
+    else
+      let seg = dir_entry t i in
+      let* () =
+        check_that (in_heap t.pool seg) (Printf.sprintf "dir[%d] outside heap (%d)" i seg)
+      in
+      let d = local_depth t seg in
+      let* () =
+        check_that (d >= 0 && d <= global_depth) (Printf.sprintf "dir[%d]: bad depth %d" i d)
+      in
+      let run = dir_entries lsr d in
+      let lo = i / run * run in
+      let rec run_ok j =
+        if j = lo + run then Ok ()
+        else
+          let* () =
+            check_that (dir_entry t j = seg)
+              (Printf.sprintf "directory run torn: dir[%d] != dir[%d]" j i)
+          in
+          run_ok (j + 1)
+      in
+      let* () = run_ok lo in
+      entries (i + run - (i - lo))
+  in
+  entries 0
+
+let live_count t =
+  let segs = Hashtbl.create 16 in
+  for i = 0 to dir_entries - 1 do
+    Hashtbl.replace segs (dir_entry t i) ()
+  done;
+  Hashtbl.fold
+    (fun seg () acc ->
+      let n = ref 0 in
+      for s = 0 to slots_per_segment - 1 do
+        if not (Int64.equal (slot_key t seg s) 0L) then incr n
+      done;
+      acc + !n)
+    segs 0
+
+let check t =
+  let open Util in
+  let* () = check_directory t in
+  check_that
+    (abs (live_count t - count t) <= 1)
+    (Printf.sprintf "element count mismatch: %d live, counter %d" (live_count t) (count t))
+
+(* Recovery: validate the directory, sweep stale residue (keys left behind
+   by an interrupted split whose routing has already moved), repair the
+   counter, probe. *)
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      match check_directory t with
+      | Error e -> Error ("cceh directory: " ^ e)
+      | Ok () ->
+          for i = 0 to dir_entries - 1 do
+            let seg = dir_entry t i in
+            for s = 0 to slots_per_segment - 1 do
+              let k = slot_key t seg s in
+              if (not (Int64.equal k 0L)) && dir_entry t (dir_index (hash k)) <> seg then begin
+                write t (slot_addr seg s) 0L;
+                persist t ~off:(slot_addr seg s) ~size:8
+              end
+            done
+          done;
+          let live = live_count t in
+          if live <> count t then set_count t live;
+          let probe_key = 0x7FFF_FFFF_FFFF_FFFFL in
+          put t ~key:probe_key ~value:5L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 5L then Ok () else Error "cceh probe: inserted key not visible")

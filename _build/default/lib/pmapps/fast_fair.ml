@@ -1,0 +1,392 @@
+(** FAST&FAIR-style persistent B+tree (FAST'18): failure-atomic shift
+    (FAST) and failure-atomic in-place rebalance (FAIR) — no logging at all.
+
+    Inserting into a sorted node shifts entries rightwards with individual
+    8-byte stores ordered so that a crash can only leave {e transient
+    duplicates}, which readers tolerate by taking the leftmost match.
+    Splits first persist the fully built sibling, then publish it with a
+    single 8-byte sibling-pointer store; the parent separator is inserted
+    afterwards, and lookups chase sibling pointers to cover the window
+    where the parent is stale.
+
+    Node layout (256 bytes): is_leaf, next-sibling pointer, then 15 slots of
+    16 bytes (key, payload); key 0 terminates the array (client keys are
+    non-zero).
+
+    Seeded bugs: [ff_shift_unflushed] (the shifted region is never flushed),
+    [ff_link_before_copy] (sibling published before its contents are
+    persisted — torn chain after a crash). *)
+
+open Kv_intf
+
+let name = "fast_fair"
+let min_pool_size = 1 lsl 22
+let max_slots = 15
+let node_bytes = 320 (* 32-byte header + 15 slots of 16 bytes, chunk-rounded *)
+let meta_bytes = 64
+
+let bug_shift_unflushed =
+  Bugreg.register ~id:"ff_shift_unflushed" ~component:"fast_fair"
+    ~taxonomy:Bugreg.Durability
+    ~description:"entries moved by the FAST shift are never flushed"
+    ~detectors:[ "mumak"; "pmdebugger"; "xfdetector"; "agamotto"; "witcher" ]
+
+let bug_link_before_copy =
+  Bugreg.register ~id:"ff_link_before_copy" ~component:"fast_fair"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:"split publishes the sibling pointer before the sibling is persisted"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bug_redundant_fence =
+  Bugreg.register ~id:"ff_redundant_fence" ~component:"fast_fair"
+    ~taxonomy:Bugreg.Redundant_fence
+    ~description:"an extra drain with nothing pending after every FAST insert"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bugs = [ bug_shift_unflushed; bug_link_before_copy; bug_redundant_fence ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int; (* root node, count *)
+  framer : framer;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+let persist t ~off ~size = Pmalloc.Pool.persist t.pool ~off ~size
+
+let root t = Int64.to_int (read t t.meta)
+let count t = Int64.to_int (read t (t.meta + 8))
+let is_leaf t n = read t (n + 8) = 1L
+let set_is_leaf t n b = write t (n + 8) (if b then 1L else 0L)
+let next t n = Int64.to_int (read t (n + 16))
+let set_next t n v = write t (n + 16) (Int64.of_int v)
+let slot_addr n i = n + 32 + (16 * i)
+let slot_key t n i = read t (slot_addr n i)
+let slot_payload t n i = read t (slot_addr n i + 8)
+let set_slot t n i ~key ~payload =
+  (* payload first, key second: the key store publishes the pair *)
+  write t (slot_addr n i + 8) payload;
+  write t (slot_addr n i) key
+
+let nslots t n =
+  let rec go i = if i = max_slots then i else if Int64.equal (slot_key t n i) 0L then i else go (i + 1) in
+  go 0
+
+(* leftmost child of an interior node is stored in the next-pointer-like
+   field at +24; slot payloads are the children right of each key *)
+let leftmost t n = Int64.to_int (read t (n + 24))
+let set_leftmost t n v = write t (n + 24) (Int64.of_int v)
+
+let alloc_node t ~leaf =
+  let n = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:node_bytes in
+  set_is_leaf t n leaf;
+  persist t ~off:n ~size:node_bytes;
+  n
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let t = { pool; heap; meta; framer } in
+  let leaf = alloc_node t ~leaf:true in
+  write t meta (Int64.of_int leaf);
+  write t (meta + 8) 0L;
+  persist t ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Fast_fair.open_existing: pool has no root"
+
+(* descend to the leaf that should hold [k]; tolerates a stale parent by
+   chasing sibling links (the FAIR lookup rule) *)
+let rec find_leaf t n k =
+  if is_leaf t n then begin
+    let nx = next t n in
+    if nx <> 0 && nslots t nx > 0 && Int64.compare k (slot_key t nx 0) >= 0 then
+      t.framer.frame "fast_fair.chase" (fun () -> find_leaf t nx k)
+    else n
+  end
+  else begin
+    let m = nslots t n in
+    let rec pick i =
+      if i = m then Int64.to_int (slot_payload t n (m - 1))
+      else if Int64.compare k (slot_key t n i) < 0 then
+        if i = 0 then leftmost t n else Int64.to_int (slot_payload t n (i - 1))
+      else pick (i + 1)
+    in
+    t.framer.frame "fast_fair.descend" (fun () -> find_leaf t (pick 0) k)
+  end
+
+(* leftmost match wins: tolerant of transient duplicates *)
+let leaf_find t n k =
+  let m = nslots t n in
+  let rec go i = if i = m then None else if Int64.equal (slot_key t n i) k then Some i else go (i + 1) in
+  go 0
+
+let get t ~key:k =
+  t.framer.frame "fast_fair.get" (fun () ->
+      let leaf = find_leaf t (root t) k in
+      Option.map (fun i -> slot_payload t leaf i) (leaf_find t leaf k))
+
+let set_count t c =
+  write t (t.meta + 8) (Int64.of_int c);
+  persist t ~off:(t.meta + 8) ~size:8
+
+(* FAST insertion into a non-full sorted node: shift pairs rightwards one
+   8-byte store at a time (payload then key, so a torn pair is a duplicate,
+   never garbage), flush the touched region, then publish the new pair. *)
+let fast_insert t n ~key:k ~payload =
+  let m = nslots t n in
+  let rec shift i =
+    if i >= 0 && Int64.compare (slot_key t n i) k > 0 then begin
+      write t (slot_addr n (i + 1) + 8) (slot_payload t n i);
+      write t (slot_addr n (i + 1)) (slot_key t n i);
+      shift (i - 1)
+    end
+    else i
+  in
+  let pos = shift (m - 1) + 1 in
+  if not (Bugreg.enabled bug_shift_unflushed.Bugreg.id) then
+    Pmalloc.Pool.flush t.pool ~off:(slot_addr n pos) ~size:((m - pos + 1) * 16);
+  Pmalloc.Pool.drain t.pool;
+  set_slot t n pos ~key:k ~payload;
+  persist t ~off:(slot_addr n pos) ~size:16;
+  if Bugreg.enabled bug_redundant_fence.Bugreg.id then Pmalloc.Pool.drain t.pool
+
+(* FAIR split: build the sibling, persist it, publish it through the
+   8-byte sibling pointer, then shrink this node. Returns the separator
+   and the sibling address for the parent insertion. *)
+let split_node t n =
+  t.framer.frame "fast_fair.split" (fun () ->
+      let half = max_slots / 2 in
+      let sep = slot_key t n half in
+      let sibling = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:node_bytes in
+      set_is_leaf t sibling (is_leaf t n);
+      let old_next = next t n in
+      if Bugreg.enabled bug_link_before_copy.Bugreg.id then begin
+        (* BUG: publish first, fill in the sibling afterwards — the crash
+           window truncates the sibling chain *)
+        set_next t n sibling;
+        persist t ~off:(n + 16) ~size:8
+      end;
+      let from = if is_leaf t n then half else half + 1 in
+      for i = from to max_slots - 1 do
+        set_slot t sibling (i - from) ~key:(slot_key t n i) ~payload:(slot_payload t n i)
+      done;
+      if not (is_leaf t n) then set_leftmost t sibling (Int64.to_int (slot_payload t n half));
+      set_next t sibling old_next;
+      persist t ~off:sibling ~size:node_bytes;
+      if not (Bugreg.enabled bug_link_before_copy.Bugreg.id) then begin
+        set_next t n sibling;
+        persist t ~off:(n + 16) ~size:8
+      end;
+      (* shrink: clear the moved keys from the right end leftwards *)
+      for i = max_slots - 1 downto half do
+        write t (slot_addr n i) 0L
+      done;
+      persist t ~off:(slot_addr n half) ~size:((max_slots - half) * 16);
+      (sep, sibling))
+
+let rec insert_rec t n ~key:k ~payload =
+  if is_leaf t n then begin
+    let nx = next t n in
+    if nx <> 0 && nslots t nx > 0 && Int64.compare k (slot_key t nx 0) >= 0 then
+      insert_rec t nx ~key:k ~payload
+    else
+      match leaf_find t n k with
+      | Some i ->
+          write t (slot_addr n i + 8) payload;
+          persist t ~off:(slot_addr n i + 8) ~size:8;
+          None
+      | None ->
+          if nslots t n < max_slots then begin
+            fast_insert t n ~key:k ~payload;
+            set_count t (count t + 1);
+            None
+          end
+          else begin
+            let sep, sibling = split_node t n in
+            (if Int64.compare k sep >= 0 then insert_rec t sibling ~key:k ~payload
+             else insert_rec t n ~key:k ~payload)
+            |> ignore;
+            Some (sep, sibling)
+          end
+  end
+  else
+    t.framer.frame "fast_fair.insert_rec" (fun () ->
+        let m = nslots t n in
+        let rec pick i =
+          if i = m then Int64.to_int (slot_payload t n (m - 1))
+          else if Int64.compare k (slot_key t n i) < 0 then
+            if i = 0 then leftmost t n else Int64.to_int (slot_payload t n (i - 1))
+          else pick (i + 1)
+        in
+        match insert_rec t (pick 0) ~key:k ~payload with
+        | None -> None
+        | Some (sep, child) ->
+            if nslots t n < max_slots then begin
+              fast_insert t n ~key:sep ~payload:(Int64.of_int child);
+              None
+            end
+            else begin
+              let sep', sibling = split_node t n in
+              let target = if Int64.compare sep sep' >= 0 then sibling else n in
+              fast_insert t target ~key:sep ~payload:(Int64.of_int child);
+              Some (sep', sibling)
+            end)
+
+let put t ~key:k ~value:v =
+  if Int64.equal k 0L then invalid_arg "Fast_fair.put: key 0 is reserved";
+  t.framer.frame "fast_fair.put" (fun () ->
+      match insert_rec t (root t) ~key:k ~payload:v with
+      | None -> ()
+      | Some (sep, sibling) ->
+          (* root split: build the new root, persist, then swing the root
+             pointer with one atomic store *)
+          t.framer.frame "fast_fair.root_split" (fun () ->
+              let old_root = root t in
+              let new_root = alloc_node t ~leaf:false in
+              set_leftmost t new_root old_root;
+              set_slot t new_root 0 ~key:sep ~payload:(Int64.of_int sibling);
+              persist t ~off:new_root ~size:node_bytes;
+              write t t.meta (Int64.of_int new_root);
+              persist t ~off:t.meta ~size:8))
+
+(* FAIR deletion: shift left over the removed slot *)
+let delete t ~key:k =
+  t.framer.frame "fast_fair.delete" (fun () ->
+      let leaf = find_leaf t (root t) k in
+      match leaf_find t leaf k with
+      | None -> false
+      | Some pos ->
+          let m = nslots t leaf in
+          for i = pos to m - 2 do
+            write t (slot_addr leaf i + 8) (slot_payload t leaf (i + 1));
+            write t (slot_addr leaf i) (slot_key t leaf (i + 1))
+          done;
+          write t (slot_addr leaf (m - 1)) 0L;
+          persist t ~off:(slot_addr leaf pos) ~size:((m - pos) * 16);
+          set_count t (count t - 1);
+          true)
+
+(* --- consistency checking --- *)
+
+(* Walk the leaf chain from the leftmost leaf; keys must be non-decreasing
+   (duplicates are the endurable transient state) and every node valid. *)
+let leftmost_leaf t =
+  let rec go n = if is_leaf t n then n else go (leftmost t n) in
+  go (root t)
+
+let chain_entries t =
+  let open Util in
+  let rec walk n acc prev_key guard =
+    if n = 0 then Ok (List.rev acc)
+    else if guard = 0 then Error "leaf chain too long (cycle?)"
+    else
+      let* () = check_that (in_heap t.pool n) (Printf.sprintf "leaf %d outside heap" n) in
+      let m = nslots t n in
+      let rec slots i acc prev_key =
+        if i = m then Ok (acc, prev_key)
+        else
+          let k = slot_key t n i in
+          let* () =
+            check_that
+              (match prev_key with None -> true | Some p -> Int64.compare p k <= 0)
+              (Printf.sprintf "leaf chain unsorted at node %d slot %d" n i)
+          in
+          slots (i + 1) ((k, slot_payload t n i) :: acc) (Some k)
+      in
+      let* acc, prev_key = slots 0 acc prev_key in
+      walk (next t n) acc prev_key (guard - 1)
+  in
+  walk (leftmost_leaf t) [] None 100_000
+
+let distinct_keys entries =
+  List.sort_uniq compare (List.map fst entries) |> List.length
+
+(* Every leaf reachable by tree descent must be on the sibling chain: a
+   clean split publishes the (fully linked) sibling before the parent ever
+   learns about it, so tree coverage by the chain is invariant across all
+   reachable crash states; a truncated chain violates it. *)
+let tree_leaves_on_chain t =
+  let chain = Hashtbl.create 64 in
+  let rec follow n guard =
+    if n <> 0 && guard > 0 then begin
+      Hashtbl.replace chain n ();
+      follow (next t n) (guard - 1)
+    end
+  in
+  follow (leftmost_leaf t) 100_000;
+  let open Util in
+  let rec walk n =
+    let* () = check_that (in_heap t.pool n) (Printf.sprintf "node %d outside heap" n) in
+    if is_leaf t n then
+      check_that (Hashtbl.mem chain n)
+        (Printf.sprintf "leaf %d reachable in tree but missing from chain" n)
+    else
+      let* () = walk (leftmost t n) in
+      check_list (fun i -> walk (Int64.to_int (slot_payload t n i))) (List.init (nslots t n) Fun.id)
+  in
+  walk (root t)
+
+(* Split completion: a crash between publishing the sibling and shrinking
+   the old node leaves the moved keys in both — visible as a node whose
+   last key is >= its successor's first key. Recovery finishes the shrink.
+   This is the FAIR "tolerate, then repair" rule. *)
+let complete_interrupted_splits t =
+  let rec walk n guard =
+    if n <> 0 && guard > 0 then begin
+      let s = next t n in
+      if s <> 0 && Util.in_heap t.pool s then begin
+        let m = nslots t n and ms = nslots t s in
+        if m > 0 && ms > 0 then begin
+          let sep = slot_key t s 0 in
+          if Int64.compare (slot_key t n (m - 1)) sep >= 0 then begin
+            (* clear every key >= sep, right to left, and persist *)
+            let rec clear i =
+              if i >= 0 && Int64.compare (slot_key t n i) sep >= 0 then begin
+                write t (slot_addr n i) 0L;
+                clear (i - 1)
+              end
+            in
+            clear (m - 1);
+            persist t ~off:(n + 32) ~size:(m * 16)
+          end
+        end
+      end;
+      walk s (guard - 1)
+    end
+  in
+  walk (leftmost_leaf t) 100_000
+
+let check t =
+  let open Util in
+  let* entries = chain_entries t in
+  let* () = tree_leaves_on_chain t in
+  check_that
+    (abs (distinct_keys entries - count t) <= 1)
+    (Printf.sprintf "element count mismatch: %d distinct keys, counter %d"
+       (distinct_keys entries) (count t))
+
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      complete_interrupted_splits t;
+      match
+        let open Util in
+        let* entries = chain_entries t in
+        let* () = tree_leaves_on_chain t in
+        Ok entries
+      with
+      | Error e -> Error ("fast_fair check: " ^ e)
+      | Ok entries ->
+          let d = distinct_keys entries in
+          if d <> count t then set_count t d;
+          let probe_key = 0x7FFF_FFFF_FFFF_FFFEL in
+          put t ~key:probe_key ~value:9L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 9L then Ok () else Error "fast_fair probe: inserted key not visible")

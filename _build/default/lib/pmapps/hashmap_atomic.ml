@@ -1,0 +1,211 @@
+(** Persistent chained hashmap using 8-byte atomic updates, no transactions —
+    the analogue of PMDK's [hashmap_atomic] example.
+
+    Crash consistency comes from ordering: an entry is fully persisted
+    before the single 8-byte bucket-head store links it, so a crash can only
+    lose the in-flight operation, never corrupt the chain. The element
+    counter is deliberately only eventually consistent: recovery recounts
+    reachable entries and repairs it, like the original's check function.
+
+    The bucket array is allocated {e without} an explicit zeroing request —
+    correct under {!Pmalloc.Version.V1_6} (allocations are zero-filled) and
+    broken from 1.8 on, which is why the evaluation excludes this structure
+    on newer library versions (paper section 6.1).
+
+    Seeded bugs: [hm_atomic_link_before_persist] (entry linked by the head
+    store before its fields are flushed — invisible to program-order fault
+    injection, one of the ~10% Mumak misses), [hm_atomic_count_never_flushed]
+    (durability), [hm_atomic_redundant_fence] (performance). *)
+
+open Kv_intf
+
+let name = "hashmap_atomic"
+let min_pool_size = 1 lsl 21
+let nbuckets = 64
+let entry_bytes = 64
+let meta_bytes = 64
+
+let bug_link_before_persist =
+  Bugreg.register ~id:"hm_atomic_link_before_persist" ~component:"hashmap_atomic"
+    ~taxonomy:Bugreg.Ordering
+    ~description:
+      "bucket head is stored before the new entry's fields are flushed; both are \
+       made durable by one trailing fence, so persist order is unconstrained"
+    ~detectors:[ "witcher"; "xfdetector" ]
+
+let bug_count_never_flushed =
+  Bugreg.register ~id:"hm_atomic_count_never_flushed" ~component:"hashmap_atomic"
+    ~taxonomy:Bugreg.Durability
+    ~description:"element counter stores are never flushed"
+    ~detectors:[ "mumak"; "pmdebugger"; "xfdetector"; "agamotto"; "witcher" ]
+
+let bug_redundant_fence =
+  Bugreg.register ~id:"hm_atomic_redundant_fence" ~component:"hashmap_atomic"
+    ~taxonomy:Bugreg.Redundant_fence
+    ~description:"a second sfence is issued with no pending flushes"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bugs = [ bug_link_before_persist; bug_count_never_flushed; bug_redundant_fence ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int;
+  framer : framer;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+
+let buckets_off t = Int64.to_int (read t t.meta)
+let count t = Int64.to_int (read t (t.meta + 16))
+
+let bucket_addr t i = buckets_off t + (8 * i)
+let bucket_head t i = Int64.to_int (read t (bucket_addr t i))
+
+let entry_key t e = read t e
+let entry_value t e = read t (e + 8)
+let entry_next t e = Int64.to_int (read t (e + 16))
+
+let persist t ~off ~size =
+  Pmalloc.Pool.persist t.pool ~off ~size;
+  if Bugreg.enabled bug_redundant_fence.Bugreg.id then Pmalloc.Pool.drain t.pool
+
+let set_count t c =
+  write t (t.meta + 16) (Int64.of_int c);
+  if not (Bugreg.enabled bug_count_never_flushed.Bugreg.id) then
+    persist t ~off:(t.meta + 16) ~size:8
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  (* NOTE: no ~zero — relies on the 1.6 allocator zero-filling behaviour. *)
+  let buckets = Pmalloc.Alloc.alloc heap ~bytes:(8 * nbuckets) in
+  let t = { pool; heap; meta; framer } in
+  write t meta (Int64.of_int buckets);
+  write t (meta + 8) (Int64.of_int nbuckets);
+  write t (meta + 16) 0L;
+  persist t ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.persist pool ~off:buckets ~size:(8 * nbuckets);
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Hashmap_atomic.open_existing: pool has no root"
+
+let bucket_of _t k = Util.hash_to_bucket k nbuckets
+
+let find_entry t k =
+  let rec go e = if e = 0 then None else if Int64.equal (entry_key t e) k then Some e else go (entry_next t e) in
+  go (bucket_head t (bucket_of t k))
+
+let get t ~key:k =
+  t.framer.frame "hm_atomic.get" (fun () -> Option.map (entry_value t) (find_entry t k))
+
+let put t ~key:k ~value:v =
+  t.framer.frame "hm_atomic.put" (fun () ->
+      match find_entry t k with
+      | Some e ->
+          (* in-place 8-byte atomic value update *)
+          write t (e + 8) v;
+          persist t ~off:(e + 8) ~size:8
+      | None ->
+          t.framer.frame "hm_atomic.insert" (fun () ->
+              let b = bucket_of t k in
+              let e = Pmalloc.Alloc.alloc t.heap ~bytes:entry_bytes in
+              write t e k;
+              write t (e + 8) v;
+              write t (e + 16) (Int64.of_int (bucket_head t b));
+              if Bugreg.enabled bug_link_before_persist.Bugreg.id then begin
+                (* BUG: the head store is issued before the entry is
+                   flushed; a single fence covers both flushes, leaving the
+                   persist order to the hardware. *)
+                write t (bucket_addr t b) (Int64.of_int e);
+                Pmalloc.Pool.flush t.pool ~off:e ~size:entry_bytes;
+                Pmalloc.Pool.flush t.pool ~off:(bucket_addr t b) ~size:8;
+                Pmalloc.Pool.drain t.pool
+              end
+              else begin
+                persist t ~off:e ~size:entry_bytes;
+                write t (bucket_addr t b) (Int64.of_int e);
+                persist t ~off:(bucket_addr t b) ~size:8
+              end;
+              set_count t (count t + 1)))
+
+let delete t ~key:k =
+  t.framer.frame "hm_atomic.delete" (fun () ->
+      let b = bucket_of t k in
+      (* the unlink recurses down the chain, so removals at different
+         depths are genuinely different code paths *)
+      let rec unlink prev e =
+        if e = 0 then false
+        else if Int64.equal (entry_key t e) k then begin
+          let next = entry_next t e in
+          let link_addr = match prev with None -> bucket_addr t b | Some p -> p + 16 in
+          write t link_addr (Int64.of_int next);
+          persist t ~off:link_addr ~size:8;
+          Pmalloc.Alloc.free t.heap e;
+          set_count t (count t - 1);
+          true
+        end
+        else t.framer.frame "hm_atomic.unlink" (fun () -> unlink (Some e) (entry_next t e))
+      in
+      unlink None (bucket_head t b))
+
+(* --- consistency check --- *)
+
+let reachable_entries t =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let ok = ref (Ok ()) in
+  for b = 0 to nbuckets - 1 do
+    if !ok = Ok () then begin
+      let rec go e =
+        if e <> 0 then
+          if not (Util.in_heap t.pool e) then
+            ok := Error (Printf.sprintf "bucket %d: entry pointer %d outside heap" b e)
+          else if Hashtbl.mem seen e then
+            ok := Error (Printf.sprintf "bucket %d: cycle at entry %d" b e)
+          else begin
+            Hashtbl.replace seen e ();
+            acc := e :: !acc;
+            go (entry_next t e)
+          end
+      in
+      go (bucket_head t b)
+    end
+  done;
+  Result.map (fun () -> !acc) !ok
+
+let check t =
+  let open Util in
+  let* entries = reachable_entries t in
+  (* every reachable entry must hash into the bucket it hangs off *)
+  check_list
+    (fun e ->
+      let b = bucket_of t (entry_key t e) in
+      let rec on_chain x = x <> 0 && (x = e || on_chain (entry_next t x)) in
+      check_that (on_chain (bucket_head t b))
+        (Printf.sprintf "entry %d not reachable from its hash bucket" e))
+    entries
+
+(* Recovery: validate chains, then recount and repair the counter (the
+   counter is only eventually consistent by design). *)
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      match check t with
+      | Error e -> Error ("hashmap_atomic check: " ^ e)
+      | Ok () ->
+          let reachable = match reachable_entries t with Ok l -> List.length l | Error _ -> -1 in
+          if reachable <> count t then begin
+            write t (t.meta + 16) (Int64.of_int reachable);
+            Pmalloc.Pool.persist pool ~off:(t.meta + 16) ~size:8
+          end;
+          let probe_key = Int64.min_int in
+          put t ~key:probe_key ~value:7L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 7L then Ok ()
+          else Error "hashmap_atomic probe: inserted key not visible")

@@ -1,0 +1,184 @@
+(** Persistent chained hashmap with transactional updates — the analogue of
+    PMDK's [hashmap_tx] example. Same structure as {!Hashmap_atomic} but
+    every mutation (including the element counter) runs inside an undo-log
+    transaction, so after recovery the counter must match exactly.
+
+    Seeded bugs: [hm_tx_head_no_snapshot] (bucket head mutated without an
+    undo snapshot), [hm_tx_transient_scratch] (a per-operation scratch
+    record is written to PM and never flushed — PM used for transient
+    data). *)
+
+open Kv_intf
+
+let name = "hashmap_tx"
+let min_pool_size = 1 lsl 21
+let nbuckets = 64
+let entry_bytes = 64
+let meta_bytes = 64
+
+let bug_head_no_snapshot =
+  Bugreg.register ~id:"hm_tx_head_no_snapshot" ~component:"hashmap_tx"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:"bucket head updated inside a tx without snapshotting it first"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bug_transient_scratch =
+  Bugreg.register ~id:"hm_tx_transient_scratch" ~component:"hashmap_tx"
+    ~taxonomy:Bugreg.Transient_data
+    ~description:"per-operation scratch statistics are kept in PM but never flushed"
+    ~detectors:[ "mumak"; "agamotto" ]
+
+let bug_redundant_fence =
+  Bugreg.register ~id:"hm_tx_redundant_fence" ~component:"hashmap_tx"
+    ~taxonomy:Bugreg.Redundant_fence
+    ~description:"an extra sfence with nothing pending after every put"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bugs = [ bug_head_no_snapshot; bug_transient_scratch; bug_redundant_fence ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int;
+  framer : framer;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+
+let buckets_off t = Int64.to_int (read t t.meta)
+let scratch_off t = Int64.to_int (read t (t.meta + 24))
+let count t = Int64.to_int (read t (t.meta + 16))
+let bucket_addr t i = buckets_off t + (8 * i)
+let bucket_head t i = Int64.to_int (read t (bucket_addr t i))
+let entry_key t e = read t e
+let entry_value t e = read t (e + 8)
+let entry_next t e = Int64.to_int (read t (e + 16))
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let buckets = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(8 * nbuckets) in
+  (* scratch is transient book-keeping: handed out raw, never flushed *)
+  let scratch = Pmalloc.Alloc.alloc heap ~bytes:64 in
+  let t = { pool; heap; meta; framer } in
+  write t meta (Int64.of_int buckets);
+  write t (meta + 8) (Int64.of_int nbuckets);
+  write t (meta + 16) 0L;
+  write t (meta + 24) (Int64.of_int scratch);
+  Pmalloc.Pool.persist pool ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.persist pool ~off:buckets ~size:(8 * nbuckets);
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Hashmap_tx.open_existing: pool has no root"
+
+let bucket_of _t k = Util.hash_to_bucket k nbuckets
+
+let find_entry t k =
+  let rec go e = if e = 0 then None else if Int64.equal (entry_key t e) k then Some e else go (entry_next t e) in
+  go (bucket_head t (bucket_of t k))
+
+let get t ~key:k =
+  t.framer.frame "hm_tx.get" (fun () -> Option.map (entry_value t) (find_entry t k))
+
+(* BUG (hm_tx_transient_scratch): book-keeping that belongs in DRAM is
+   written to the pool and never flushed. *)
+let touch_scratch t =
+  if Bugreg.enabled bug_transient_scratch.Bugreg.id then
+    write t (scratch_off t) (Int64.add (read t (scratch_off t)) 1L)
+
+let put t ~key:k ~value:v =
+  t.framer.frame "hm_tx.put" (fun () ->
+      touch_scratch t;
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          match find_entry t k with
+          | Some e ->
+              Pmalloc.Tx.add tx ~off:(e + 8) ~size:8;
+              write t (e + 8) v
+          | None ->
+              t.framer.frame "hm_tx.insert" (fun () ->
+                  let b = bucket_of t k in
+                  let e = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:entry_bytes in
+                  write t e k;
+                  write t (e + 8) v;
+                  write t (e + 16) (Int64.of_int (bucket_head t b));
+                  Pmalloc.Pool.persist t.pool ~off:e ~size:entry_bytes;
+                  if not (Bugreg.enabled bug_head_no_snapshot.Bugreg.id) then
+                    Pmalloc.Tx.add tx ~off:(bucket_addr t b) ~size:8;
+                  write t (bucket_addr t b) (Int64.of_int e);
+                  Pmalloc.Tx.add tx ~off:(t.meta + 16) ~size:8;
+                  write t (t.meta + 16) (Int64.of_int (count t + 1))));
+      if Bugreg.enabled bug_redundant_fence.Bugreg.id then Pmalloc.Pool.drain t.pool)
+
+let delete t ~key:k =
+  t.framer.frame "hm_tx.delete" (fun () ->
+      touch_scratch t;
+      let b = bucket_of t k in
+      let removed = ref false in
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          let rec unlink prev e =
+            if e <> 0 then
+              if Int64.equal (entry_key t e) k then begin
+                let next = entry_next t e in
+                let link_addr = match prev with None -> bucket_addr t b | Some p -> p + 16 in
+                Pmalloc.Tx.add tx ~off:link_addr ~size:8;
+                write t link_addr (Int64.of_int next);
+                Pmalloc.Tx.add tx ~off:(t.meta + 16) ~size:8;
+                write t (t.meta + 16) (Int64.of_int (count t - 1));
+                removed := true
+                (* the entry chunk is leaked on purpose: freeing inside the
+                   tx would race the rollback (chunk frees are redo-logged,
+                   not undo-logged) *)
+              end
+              else
+                t.framer.frame "hm_tx.unlink" (fun () -> unlink (Some e) (entry_next t e))
+          in
+          unlink None (bucket_head t b));
+      !removed)
+
+let reachable_entries t =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let ok = ref (Ok ()) in
+  for b = 0 to nbuckets - 1 do
+    if !ok = Ok () then begin
+      let rec go e =
+        if e <> 0 then
+          if not (Util.in_heap t.pool e) then
+            ok := Error (Printf.sprintf "bucket %d: entry pointer %d outside heap" b e)
+          else if Hashtbl.mem seen e then
+            ok := Error (Printf.sprintf "bucket %d: cycle at entry %d" b e)
+          else begin
+            Hashtbl.replace seen e ();
+            acc := e :: !acc;
+            go (entry_next t e)
+          end
+      in
+      go (bucket_head t b)
+    end
+  done;
+  Result.map (fun () -> !acc) !ok
+
+(* Transactional variant: the persisted counter must match exactly. *)
+let check t =
+  let open Util in
+  let* entries = reachable_entries t in
+  check_that
+    (List.length entries = count t)
+    (Printf.sprintf "element count mismatch: counted %d, stored %d" (List.length entries)
+       (count t))
+
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      match check t with
+      | Error e -> Error ("hashmap_tx check: " ^ e)
+      | Ok () ->
+          let probe_key = Int64.min_int in
+          put t ~key:probe_key ~value:7L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 7L then Ok () else Error "hashmap_tx probe: inserted key not visible")

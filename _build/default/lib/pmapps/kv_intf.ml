@@ -1,0 +1,63 @@
+(** Common interface of the persistent key-value structures under test.
+
+    Every application exposes the same black-box surface Mumak needs:
+    create/open, the three workload operations, and a {e recovery procedure}
+    that doubles as the consistency oracle (paper section 4.1). Recovery
+    returns [Error _] when it deems the state unrecoverable and may raise if
+    it crashes outright; both outcomes are bug signals.
+
+    Applications announce function entry through a {!framer} so the
+    instrumentation layer can reconstruct call stacks; the default framer is
+    a no-op, keeping the applications usable without any tool attached. *)
+
+type framer = Pmtrace.Framer.t = { frame : 'a. string -> (unit -> 'a) -> 'a }
+
+let null_framer = Pmtrace.Framer.null
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val min_pool_size : int
+  (** A pool size adequate for workloads of a few thousand operations. *)
+
+  val create : ?framer:framer -> Pmalloc.Pool.t -> Pmalloc.Alloc.t -> t
+  (** Format the structure in a fresh pool and set the pool root. *)
+
+  val open_existing : ?framer:framer -> Pmalloc.Pool.t -> Pmalloc.Alloc.t -> t
+  (** Attach to an already-recovered pool. *)
+
+  val put : t -> key:int64 -> value:int64 -> unit
+  val get : t -> key:int64 -> int64 option
+  val delete : t -> key:int64 -> bool
+
+  val count : t -> int
+  (** The structure's persisted element counter. *)
+
+  val check : t -> (unit, string) result
+  (** Structural consistency check (invariants of the concrete structure). *)
+
+  val recover : Pmem.Device.t -> (unit, string) result
+  (** The application's own recovery procedure, run on a crash image:
+      library recovery, structural repair/validation, and a probe operation
+      verifying the structure is operable. *)
+end
+
+type app = (module S)
+
+(** Recovery helper shared by the applications: open the pool (library
+    recovery), rebuild the heap, then run the app-specific validation.
+    Translates {!Pmalloc.Pool.Corrupted} into [Error]. *)
+let recover_with ~validate dev =
+  match Pmalloc.Recovery.open_pool dev with
+  | exception Pmalloc.Pool.Corrupted msg -> Error ("pool recovery: " ^ msg)
+  | exception Pmalloc.Pool.Not_initialised ->
+      (* crash during pool creation, before the commit marker: the
+         application would re-create the pool *)
+      Ok ()
+  | pool, heap, _report ->
+      (* A pool whose root was never published is a fresh pool that crashed
+         during initialisation: the application would simply re-create it,
+         so this is a consistent state, not a bug. *)
+      if Pmalloc.Pool.root pool = None then Ok () else validate pool heap

@@ -1,0 +1,269 @@
+(** Level-Hashing-style persistent hash table (OSDI'18).
+
+    Two bucket levels (top 2^L, bottom 2^(L-1)), two hash positions per
+    level, 4 slots per bucket. Slot commit is token-based: the key/value
+    pair is persisted first, then a one-byte token marks the slot live.
+
+    Bucket layout (128 bytes = 2 cache lines):
+    {v line 0:  0..3 tokens[4]   8+8i keys[4]
+       line 1:  64+8i values[4] v}
+    Values live in their own cache line so the token/key line and the value
+    line must each be flushed — the seeded durability bug forgets the
+    second.
+
+    Faithful to the paper's section 6.2 story, the {e stock} recovery
+    procedure does nothing (the original Level Hashing has none), which
+    blinds a recovery-as-oracle tool. Setting {!use_enhanced_recovery} adds
+    the ~20-line recovery the Mumak authors wrote: count live tokens and
+    compare against the persisted element counter.
+
+    Seeded bugs: [level_hash_token_before_kv] (atomicity),
+    [level_hash_value_unflushed] (durability), [level_hash_count_unpersisted]
+    (durability), [level_hash_redundant_flush] and
+    [level_hash_redundant_fence] (performance). *)
+
+open Kv_intf
+
+let name = "level_hash"
+let min_pool_size = 1 lsl 21
+let top_buckets = 512
+let bottom_buckets = 256
+let slots_per_bucket = 4
+let bucket_bytes = 128
+let meta_bytes = 64
+
+(** The original structure ships without a recovery procedure; flip this to
+    enable the counter-checking recovery of paper section 6.2. *)
+let use_enhanced_recovery = ref false
+
+let bug_token_before_kv =
+  Bugreg.register ~id:"level_hash_token_before_kv" ~component:"level_hash"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:"slot token persisted before the key/value pair is written"
+    ~detectors:[ "mumak"; "witcher" ]
+
+let bug_value_unflushed =
+  Bugreg.register ~id:"level_hash_value_unflushed" ~component:"level_hash"
+    ~taxonomy:Bugreg.Durability
+    ~description:"the value cache line is never flushed on insert"
+    ~detectors:[ "mumak"; "pmdebugger"; "xfdetector"; "agamotto"; "witcher" ]
+
+let bug_count_unpersisted =
+  Bugreg.register ~id:"level_hash_count_unpersisted" ~component:"level_hash"
+    ~taxonomy:Bugreg.Durability
+    ~description:"element counter stores are never flushed"
+    ~detectors:[ "mumak"; "pmdebugger"; "xfdetector"; "agamotto"; "witcher" ]
+
+let bug_redundant_flush =
+  Bugreg.register ~id:"level_hash_redundant_flush" ~component:"level_hash"
+    ~taxonomy:Bugreg.Redundant_flush
+    ~description:"the token line is flushed twice on insert"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bug_redundant_fence =
+  Bugreg.register ~id:"level_hash_redundant_fence" ~component:"level_hash"
+    ~taxonomy:Bugreg.Redundant_fence
+    ~description:"an extra sfence with nothing pending after every insert"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bugs =
+  [ bug_token_before_kv; bug_value_unflushed; bug_count_unpersisted;
+    bug_redundant_flush; bug_redundant_fence ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int; (* top array addr, bottom array addr, count *)
+  framer : framer;
+}
+
+exception Table_full
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+
+let top_off t = Int64.to_int (read t t.meta)
+let bottom_off t = Int64.to_int (read t (t.meta + 8))
+let count t = Int64.to_int (read t (t.meta + 16))
+
+let bucket_addr t ~level ~idx =
+  (if level = 0 then top_off t else bottom_off t) + (idx * bucket_bytes)
+
+let token t b s = Pmalloc.Pool.read_u8 t.pool ~off:(b + s)
+let set_token t b s v = Pmalloc.Pool.write_u8 t.pool ~off:(b + s) v
+let slot_key t b s = read t (b + 8 + (8 * s))
+let set_slot_key t b s v = write t (b + 8 + (8 * s)) v
+let slot_value t b s = read t (b + 64 + (8 * s))
+let set_slot_value t b s v = write t (b + 64 + (8 * s)) v
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let top = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(top_buckets * bucket_bytes) in
+  let bottom = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:(bottom_buckets * bucket_bytes) in
+  let t = { pool; heap; meta; framer } in
+  write t meta (Int64.of_int top);
+  write t (meta + 8) (Int64.of_int bottom);
+  write t (meta + 16) 0L;
+  Pmalloc.Pool.persist pool ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Level_hash.open_existing: pool has no root"
+
+(* The four candidate buckets of a key: two hash positions on each level. *)
+let candidates t k =
+  let h1 = Util.mix64 k and h2 = Util.mix64 (Int64.logxor k 0x5bd1e995L) in
+  let idx h m = Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int m)) in
+  [
+    bucket_addr t ~level:0 ~idx:(idx h1 top_buckets);
+    bucket_addr t ~level:0 ~idx:(idx h2 top_buckets);
+    bucket_addr t ~level:1 ~idx:(idx h1 bottom_buckets);
+    bucket_addr t ~level:1 ~idx:(idx h2 bottom_buckets);
+  ]
+
+let find_slot t k =
+  let rec scan = function
+    | [] -> None
+    | b :: rest ->
+        let rec slots s =
+          if s = slots_per_bucket then scan rest
+          else if token t b s = 1 && Int64.equal (slot_key t b s) k then Some (b, s)
+          else slots (s + 1)
+        in
+        slots 0
+  in
+  scan (candidates t k)
+
+let get t ~key:k =
+  t.framer.frame "level_hash.get" (fun () ->
+      Option.map (fun (b, s) -> slot_value t b s) (find_slot t k))
+
+let set_count t c =
+  write t (t.meta + 16) (Int64.of_int c);
+  if not (Bugreg.enabled bug_count_unpersisted.Bugreg.id) then
+    Pmalloc.Pool.persist t.pool ~off:(t.meta + 16) ~size:8
+
+let insert_into t b s k v =
+  if Bugreg.enabled bug_token_before_kv.Bugreg.id then begin
+    (* BUG: the token goes live before the pair is written *)
+    set_token t b s 1;
+    Pmalloc.Pool.persist t.pool ~off:(b + s) ~size:1;
+    set_slot_key t b s k;
+    set_slot_value t b s v;
+    Pmalloc.Pool.persist t.pool ~off:(b + 8 + (8 * s)) ~size:8;
+    Pmalloc.Pool.persist t.pool ~off:(b + 64 + (8 * s)) ~size:8
+  end
+  else begin
+    set_slot_key t b s k;
+    set_slot_value t b s v;
+    (* key line and value line are distinct cache lines *)
+    Pmalloc.Pool.flush t.pool ~off:(b + 8 + (8 * s)) ~size:8;
+    if not (Bugreg.enabled bug_value_unflushed.Bugreg.id) then
+      Pmalloc.Pool.flush t.pool ~off:(b + 64 + (8 * s)) ~size:8;
+    Pmalloc.Pool.drain t.pool;
+    set_token t b s 1;
+    Pmalloc.Pool.flush t.pool ~off:(b + s) ~size:1;
+    if Bugreg.enabled bug_redundant_flush.Bugreg.id then
+      Pmalloc.Pool.flush t.pool ~off:(b + s) ~size:1;
+    Pmalloc.Pool.drain t.pool
+  end;
+  if Bugreg.enabled bug_redundant_fence.Bugreg.id then Pmalloc.Pool.drain t.pool;
+  set_count t (count t + 1)
+
+let put t ~key:k ~value:v =
+  t.framer.frame "level_hash.put" (fun () ->
+      match find_slot t k with
+      | Some (b, s) ->
+          (* in-place atomic value update *)
+          set_slot_value t b s v;
+          Pmalloc.Pool.persist t.pool ~off:(b + 64 + (8 * s)) ~size:8
+      | None ->
+          t.framer.frame "level_hash.insert" (fun () ->
+              let rec try_buckets = function
+                | [] -> raise Table_full
+                | b :: rest ->
+                    let rec slots s =
+                      if s = slots_per_bucket then try_buckets rest
+                      else if token t b s = 0 then insert_into t b s k v
+                      else slots (s + 1)
+                    in
+                    slots 0
+              in
+              try_buckets (candidates t k)))
+
+let delete t ~key:k =
+  t.framer.frame "level_hash.delete" (fun () ->
+      match find_slot t k with
+      | None -> false
+      | Some (b, s) ->
+          set_token t b s 0;
+          Pmalloc.Pool.persist t.pool ~off:(b + s) ~size:1;
+          set_count t (count t - 1);
+          true)
+
+(* --- consistency checking --- *)
+
+let live_slots t =
+  let total = ref 0 in
+  let each_bucket base n =
+    for i = 0 to n - 1 do
+      let b = base + (i * bucket_bytes) in
+      for s = 0 to slots_per_bucket - 1 do
+        if token t b s = 1 then incr total
+      done
+    done
+  in
+  each_bucket (top_off t) top_buckets;
+  each_bucket (bottom_off t) bottom_buckets;
+  !total
+
+(* Every live slot's key must hash to the bucket holding it. A clean
+   insert only raises the token after the pair is durable, so this holds in
+   every reachable crash state; a token that went live early violates it. *)
+let placement_ok t =
+  let ok = ref (Ok ()) in
+  let each_bucket base n =
+    for i = 0 to n - 1 do
+      let b = base + (i * bucket_bytes) in
+      for s = 0 to slots_per_bucket - 1 do
+        if token t b s = 1 && !ok = Ok () then
+          if not (List.mem b (candidates t (slot_key t b s))) then
+            ok :=
+              Error
+                (Printf.sprintf "live slot %d/%d holds key %Ld that does not hash here" b
+                   s (slot_key t b s))
+      done
+    done
+  in
+  each_bucket (top_off t) top_buckets;
+  each_bucket (bottom_off t) bottom_buckets;
+  !ok
+
+let check t =
+  let open Util in
+  let* () = placement_ok t in
+  let live = live_slots t in
+  check_that
+    (abs (live - count t) <= 1)
+    (Printf.sprintf "element count mismatch: %d live slots, counter %d" live (count t))
+
+(* Stock recovery: does nothing at the structure level, like the original
+   Level Hashing (paper section 6.2). The enhanced variant is the ~20-line
+   counter check the authors added. *)
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      if not !use_enhanced_recovery then Ok ()
+      else
+        match check t with
+        | Error e -> Error ("level_hash enhanced recovery: " ^ e)
+        | Ok () ->
+            let probe_key = Int64.min_int in
+            put t ~key:probe_key ~value:3L;
+            let seen = get t ~key:probe_key in
+            let _ = delete t ~key:probe_key in
+            if seen = Some 3L then Ok ()
+            else Error "level_hash probe: inserted key not visible")

@@ -1,0 +1,327 @@
+(** Persistent red-black tree on pmalloc transactions — the analogue of
+    PMDK's libpmemobj [rbtree] example data store.
+
+    Classic insert with recolouring and rotations, all inside undo-log
+    transactions. Deletion tombstones the node (sets a [deleted] flag)
+    instead of structurally removing it, which keeps rotations out of the
+    delete path; lookups skip tombstones and re-insertion revives them.
+
+    Node layout (64 bytes = 1 chunk):
+    {v 0: key  8: value  16: colour(0=black,1=red)  24: left  32: right
+       40: parent  48: deleted v}
+
+    Seeded bugs: [rbtree_fixup_no_snapshot] (rotations mutate pointers
+    without undo snapshots), [rbtree_flush_volatile] (flushes a volatile
+    address on every operation). *)
+
+open Kv_intf
+
+let name = "rbtree"
+let min_pool_size = 1 lsl 21
+let node_bytes = 64
+let meta_bytes = 64
+let nil = 0
+
+let bug_fixup_no_snapshot =
+  Bugreg.register ~id:"rbtree_fixup_no_snapshot" ~component:"rbtree"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:"insert fixup rotations mutate child/parent pointers without snapshots"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bug_flush_volatile =
+  Bugreg.register ~id:"rbtree_flush_volatile" ~component:"rbtree"
+    ~taxonomy:Bugreg.Redundant_flush
+    ~description:"every operation flushes an address outside the pool"
+    ~detectors:[ "mumak"; "agamotto"; "xfdetector" ]
+
+let bug_redundant_fence =
+  Bugreg.register ~id:"rbtree_redundant_fence" ~component:"rbtree"
+    ~taxonomy:Bugreg.Redundant_fence
+    ~description:"an extra sfence with nothing pending after every put"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bugs = [ bug_fixup_no_snapshot; bug_flush_volatile; bug_redundant_fence ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int;
+  framer : framer;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+
+let key t n = read t n
+let value t n = read t (n + 8)
+let is_red t n = n <> nil && read t (n + 16) = 1L
+let left t n = Int64.to_int (read t (n + 24))
+let right t n = Int64.to_int (read t (n + 32))
+let parent t n = Int64.to_int (read t (n + 40))
+let is_deleted t n = read t (n + 48) = 1L
+
+let set_key t n v = write t n v
+let set_value t n v = write t (n + 8) v
+let set_red t n b = write t (n + 16) (if b then 1L else 0L)
+let set_left t n c = write t (n + 24) (Int64.of_int c)
+let set_right t n c = write t (n + 32) (Int64.of_int c)
+let set_parent t n c = write t (n + 40) (Int64.of_int c)
+let set_deleted t n b = write t (n + 48) (if b then 1L else 0L)
+
+let root t = Int64.to_int (read t t.meta)
+let set_root t n = write t t.meta (Int64.of_int n)
+let count t = Int64.to_int (read t (t.meta + 8))
+let set_count t c = write t (t.meta + 8) (Int64.of_int c)
+
+let snap tx n = if n <> nil then Pmalloc.Tx.add tx ~off:n ~size:node_bytes
+let snap_meta tx t = Pmalloc.Tx.add tx ~off:t.meta ~size:16
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  Pmalloc.Pool.persist pool ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  { pool; heap; meta; framer }
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Rbtree.open_existing: pool has no root"
+
+let find t k =
+  let rec go n =
+    if n = nil then nil
+    else
+      let c = Int64.compare k (key t n) in
+      if c = 0 then n else if c < 0 then go (left t n) else go (right t n)
+  in
+  go (root t)
+
+let get t ~key:k =
+  t.framer.frame "rbtree.get" (fun () ->
+      let n = find t k in
+      if n = nil || is_deleted t n then None else Some (value t n))
+
+(* --- rotations and fixup --- *)
+
+let maybe_snap t tx n =
+  if not (Bugreg.enabled bug_fixup_no_snapshot.Bugreg.id) then snap tx n
+  else ignore t
+
+let rotate_left t tx x =
+  let y = right t x in
+  maybe_snap t tx x;
+  maybe_snap t tx y;
+  let p = parent t x in
+  maybe_snap t tx p;
+  set_right t x (left t y);
+  if left t y <> nil then begin
+    maybe_snap t tx (left t y);
+    set_parent t (left t y) x
+  end;
+  set_parent t y p;
+  if p = nil then begin
+    if not (Bugreg.enabled bug_fixup_no_snapshot.Bugreg.id) then snap_meta tx t;
+    set_root t y
+  end
+  else if left t p = x then set_left t p y
+  else set_right t p y;
+  set_left t y x;
+  set_parent t x y
+
+let rotate_right t tx x =
+  let y = left t x in
+  maybe_snap t tx x;
+  maybe_snap t tx y;
+  let p = parent t x in
+  maybe_snap t tx p;
+  set_left t x (right t y);
+  if right t y <> nil then begin
+    maybe_snap t tx (right t y);
+    set_parent t (right t y) x
+  end;
+  set_parent t y p;
+  if p = nil then begin
+    if not (Bugreg.enabled bug_fixup_no_snapshot.Bugreg.id) then snap_meta tx t;
+    set_root t y
+  end
+  else if right t p = x then set_right t p y
+  else set_left t p y;
+  set_right t y x;
+  set_parent t x y
+
+let rec fixup t tx z =
+  let p = parent t z in
+  if p <> nil && is_red t p then begin
+    let g = parent t p in
+    let uncle = if left t g = p then right t g else left t g in
+    if is_red t uncle then begin
+      maybe_snap t tx p;
+      maybe_snap t tx uncle;
+      maybe_snap t tx g;
+      set_red t p false;
+      set_red t uncle false;
+      set_red t g true;
+      fixup t tx g
+    end
+    else if left t g = p then begin
+      let z = if right t p = z then (rotate_left t tx p; p) else z in
+      let p = parent t z and g = parent t (parent t z) in
+      maybe_snap t tx p;
+      maybe_snap t tx g;
+      set_red t p false;
+      set_red t g true;
+      rotate_right t tx g
+    end
+    else begin
+      let z = if left t p = z then (rotate_right t tx p; p) else z in
+      let p = parent t z and g = parent t (parent t z) in
+      maybe_snap t tx p;
+      maybe_snap t tx g;
+      set_red t p false;
+      set_red t g true;
+      rotate_left t tx g
+    end
+  end
+
+let put t ~key:k ~value:v =
+  t.framer.frame "rbtree.put" (fun () ->
+      if Bugreg.enabled bug_flush_volatile.Bugreg.id then begin
+        Pmem.Device.clwb (Pmalloc.Pool.device t.pool)
+          ~addr:(Pmalloc.Pool.volatile_scratch_addr t.pool);
+        Pmalloc.Pool.drain t.pool
+      end;
+      Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+          let existing = find t k in
+          if existing <> nil then begin
+            snap tx existing;
+            set_value t existing v;
+            if is_deleted t existing then begin
+              set_deleted t existing false;
+              snap_meta tx t;
+              set_count t (count t + 1)
+            end
+          end
+          else
+            t.framer.frame "rbtree.insert" (fun () ->
+                let z = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:node_bytes in
+                set_key t z k;
+                set_value t z v;
+                set_red t z true;
+                Pmalloc.Pool.persist t.pool ~off:z ~size:node_bytes;
+                (* descend to the attach point *)
+                let rec attach n =
+                  let c = Int64.compare k (key t n) in
+                  if c < 0 then
+                    if left t n = nil then begin
+                      snap tx n;
+                      set_left t n z
+                    end
+                    else attach (left t n)
+                  else if right t n = nil then begin
+                    snap tx n;
+                    set_right t n z
+                  end
+                  else attach (right t n)
+                in
+                if root t = nil then begin
+                  snap_meta tx t;
+                  snap tx z;
+                  set_red t z false;
+                  set_root t z
+                end
+                else begin
+                  let rec find_parent n =
+                    let c = Int64.compare k (key t n) in
+                    if c < 0 then if left t n = nil then n else find_parent (left t n)
+                    else if right t n = nil then n
+                    else find_parent (right t n)
+                  in
+                  let p = find_parent (root t) in
+                  attach (root t);
+                  snap tx z;
+                  set_parent t z p;
+                  t.framer.frame "rbtree.fixup" (fun () -> fixup t tx z);
+                  (* root must stay black *)
+                  let r = root t in
+                  if is_red t r then begin
+                    snap tx r;
+                    set_red t r false
+                  end
+                end;
+                snap_meta tx t;
+                set_count t (count t + 1)));
+      if Bugreg.enabled bug_redundant_fence.Bugreg.id then Pmalloc.Pool.drain t.pool)
+
+let delete t ~key:k =
+  t.framer.frame "rbtree.delete" (fun () ->
+      let n = find t k in
+      if n = nil || is_deleted t n then false
+      else begin
+        Pmalloc.Tx.run ~heap:t.heap t.pool (fun tx ->
+            snap tx n;
+            set_deleted t n true;
+            snap_meta tx t;
+            set_count t (count t - 1));
+        true
+      end)
+
+(* --- consistency check --- *)
+
+let check t =
+  let open Util in
+  let pool = t.pool in
+  (* returns (black-height, live-count) *)
+  let rec walk n ~lo ~hi =
+    if n = nil then Ok (1, 0)
+    else
+      let* () = check_that (in_heap pool n) (Printf.sprintf "node %d outside heap" n) in
+      let k = key t n in
+      let* () =
+        check_that
+          (match lo with None -> true | Some l -> Int64.compare k l > 0)
+          "BST order violated (low)"
+      in
+      let* () =
+        check_that
+          (match hi with None -> true | Some h -> Int64.compare k h < 0)
+          "BST order violated (high)"
+      in
+      let* () =
+        check_that
+          (not (is_red t n && (is_red t (left t n) || is_red t (right t n))))
+          (Printf.sprintf "red-red violation at node %d" n)
+      in
+      let* () =
+        check_that
+          (left t n = nil || parent t (left t n) = n)
+          (Printf.sprintf "parent pointer broken at left child of %d" n)
+      in
+      let* () =
+        check_that
+          (right t n = nil || parent t (right t n) = n)
+          (Printf.sprintf "parent pointer broken at right child of %d" n)
+      in
+      let* bh_l, c_l = walk (left t n) ~lo ~hi:(Some k) in
+      let* bh_r, c_r = walk (right t n) ~lo:(Some k) ~hi in
+      let* () = check_that (bh_l = bh_r) (Printf.sprintf "black height differs at node %d" n) in
+      let self = if is_deleted t n then 0 else 1 in
+      Ok ((bh_l + if is_red t n then 0 else 1), c_l + c_r + self)
+  in
+  let r = root t in
+  let* () = check_that (r = nil || not (is_red t r)) "root is red" in
+  let* () = check_that (r = nil || parent t r = nil) "root has a parent" in
+  let* _bh, live = walk r ~lo:None ~hi:None in
+  check_that (live = count t)
+    (Printf.sprintf "element count mismatch: counted %d, stored %d" live (count t))
+
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      match check t with
+      | Error e -> Error ("rbtree check: " ^ e)
+      | Ok () ->
+          let probe_key = Int64.min_int in
+          put t ~key:probe_key ~value:0L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 0L then Ok () else Error "rbtree probe: inserted key not visible")

@@ -1,0 +1,32 @@
+(** Central registry of applications under test and their seeded bugs.
+
+    The coverage experiment (paper section 6.2) uses {!all_bugs} as the
+    ground-truth bug list — the analogue of the Witcher bug list — and
+    {!apps} as the application suite. *)
+
+let apps : Kv_intf.app list =
+  [
+    (module Btree);
+    (module Rbtree);
+    (module Hashmap_atomic);
+    (module Hashmap_tx);
+    (module Wort);
+    (module Level_hash);
+    (module Cceh);
+    (module Fast_fair);
+    (module Art);
+  ]
+
+let find name =
+  List.find_opt (fun (module A : Kv_intf.S) -> String.equal A.name name) apps
+
+let all_bugs =
+  Btree.bugs @ Rbtree.bugs @ Hashmap_atomic.bugs @ Hashmap_tx.bugs @ Wort.bugs
+  @ Level_hash.bugs @ Cceh.bugs @ Fast_fair.bugs @ Art.bugs
+
+let bugs_for component =
+  List.filter (fun b -> String.equal b.Bugreg.component component) all_bugs
+
+let correctness_bugs = List.filter (fun b -> Bugreg.is_correctness b.Bugreg.taxonomy) all_bugs
+let performance_bugs =
+  List.filter (fun b -> not (Bugreg.is_correctness b.Bugreg.taxonomy)) all_bugs

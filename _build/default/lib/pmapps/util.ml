@@ -1,0 +1,34 @@
+(** Shared helpers for the persistent data structures. *)
+
+(* SplitMix64: a fast, well-distributed 64-bit mixer used as the hash
+   function of the hash-based structures. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_to_bucket key nbuckets =
+  Int64.to_int (Int64.rem (Int64.logand (mix64 key) Int64.max_int) (Int64.of_int nbuckets))
+
+(* Bounds helpers used by structural checks: a pointer stored in PM must
+   land inside the heap to be followed. *)
+let heap_range pool =
+  let layout = Pmalloc.Pool.layout pool in
+  ( layout.Pmalloc.Layout.heap_off,
+    layout.Pmalloc.Layout.heap_off
+    + (layout.Pmalloc.Layout.chunk_count * Pmalloc.Layout.chunk_size) )
+
+let in_heap pool addr =
+  let lo, hi = heap_range pool in
+  addr >= lo && addr < hi
+
+(* A tiny result-monad helper for writing structural checks. *)
+let ( let* ) r f = Result.bind r f
+
+let check_that cond msg = if cond then Ok () else Error msg
+
+let rec check_list f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      check_list f rest

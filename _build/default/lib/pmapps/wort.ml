@@ -1,0 +1,243 @@
+(** WORT-style persistent radix tree (Write-Optimal Radix Tree, FAST'17).
+
+    Fixed-depth radix over the low 32 bits of the key, 4 bits per level
+    (8 levels). The write-optimality property WORT is built around: every
+    structural update boils down to a single 8-byte atomic child-pointer
+    store, so no logging is needed. The global element counter is only
+    eventually consistent; recovery recounts and repairs it.
+
+    Node layout (192 bytes): 16 child pointers (128B). Leaf layout
+    (64 bytes): key, value.
+
+    Seeded bugs: [wort_link_uninitialized_node] (a freshly allocated interior
+    node is linked into the tree before its pointer array is initialised —
+    the crash window exposes poison pointers, the class of bug Mumak found
+    in PMDK's libart, section 6.4), [wort_leaf_unflushed] (leaf linked
+    before being flushed; persist order left to the hardware — invisible to
+    program-order fault injection). *)
+
+open Kv_intf
+
+let name = "wort"
+let min_pool_size = 1 lsl 22
+let levels = 8
+let node_bytes = 192
+let leaf_bytes = 64
+let meta_bytes = 64
+
+let bug_link_uninitialized_node =
+  Bugreg.register ~id:"wort_link_uninitialized_node" ~component:"wort"
+    ~taxonomy:Bugreg.Atomicity
+    ~description:
+      "fresh interior node linked into the tree before its child array is \
+       initialised; a crash in the window leaves poison pointers reachable"
+    ~detectors:[ "mumak"; "witcher"; "agamotto"; "xfdetector" ]
+
+let bug_leaf_unflushed =
+  Bugreg.register ~id:"wort_leaf_unflushed" ~component:"wort" ~taxonomy:Bugreg.Ordering
+    ~description:"leaf key/value are linked before being flushed; one fence covers both"
+    ~detectors:[ "witcher"; "xfdetector" ]
+
+let bug_redundant_flush =
+  Bugreg.register ~id:"wort_redundant_flush" ~component:"wort"
+    ~taxonomy:Bugreg.Redundant_flush
+    ~description:"the freshly persisted leaf is flushed a second time"
+    ~detectors:[ "mumak"; "pmdebugger"; "agamotto"; "witcher" ]
+
+let bugs = [ bug_link_uninitialized_node; bug_leaf_unflushed; bug_redundant_flush ]
+
+type t = {
+  pool : Pmalloc.Pool.t;
+  heap : Pmalloc.Alloc.t;
+  meta : int; (* root node pointer + global count *)
+  framer : framer;
+}
+
+let read t off = Pmalloc.Pool.read_i64 t.pool ~off
+let write t off v = Pmalloc.Pool.write_i64 t.pool ~off v
+let persist t ~off ~size = Pmalloc.Pool.persist t.pool ~off ~size
+
+let root t = Int64.to_int (read t t.meta)
+let count t = Int64.to_int (read t (t.meta + 8))
+
+let child_addr node i = node + (8 * i)
+let child t node i = Int64.to_int (read t (child_addr node i))
+let leaf_key t l = read t l
+let leaf_value t l = read t (l + 8)
+
+let nibble key level =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical key (4 * (levels - 1 - level))) 0xFL)
+
+let alloc_node t =
+  let n = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:node_bytes in
+  persist t ~off:n ~size:node_bytes;
+  n
+
+let create ?(framer = null_framer) pool heap =
+  let meta = Pmalloc.Alloc.alloc ~zero:true heap ~bytes:meta_bytes in
+  let t = { pool; heap; meta; framer } in
+  let r = alloc_node t in
+  write t meta (Int64.of_int r);
+  write t (meta + 8) 0L;
+  persist t ~off:meta ~size:meta_bytes;
+  Pmalloc.Pool.set_root pool ~off:meta ~size:meta_bytes;
+  t
+
+let open_existing ?(framer = null_framer) pool heap =
+  match Pmalloc.Pool.root pool with
+  | Some (meta, _) -> { pool; heap; meta; framer }
+  | None -> invalid_arg "Wort.open_existing: pool has no root"
+
+(* Truncate keys to the radix domain: the structure indexes low 32 bits. *)
+let radix_key k = Int64.logand k 0xFFFF_FFFFL
+
+let get t ~key:k =
+  t.framer.frame "wort.get" (fun () ->
+      let k = radix_key k in
+      let rec go node level =
+        if node = 0 then None
+        else if level = levels then
+          if Int64.equal (leaf_key t node) k then Some (leaf_value t node) else None
+        else go (child t node (nibble k level)) (level + 1)
+      in
+      go (root t) 0)
+
+let set_global_count t c =
+  write t (t.meta + 8) (Int64.of_int c);
+  persist t ~off:(t.meta + 8) ~size:8
+
+(* Grow an interior node under [node] slot [i]. The single 8-byte pointer
+   store is the atomic commit; the fresh node must be fully persisted
+   before it. *)
+let grow t node i =
+  t.framer.frame "wort.grow" (fun () ->
+      if Bugreg.enabled bug_link_uninitialized_node.Bugreg.id then begin
+        (* BUG: raw allocation linked first, initialised afterwards *)
+        let fresh = Pmalloc.Alloc.alloc t.heap ~bytes:node_bytes in
+        write t (child_addr node i) (Int64.of_int fresh);
+        persist t ~off:(child_addr node i) ~size:8;
+        Pmalloc.Pool.write_bytes t.pool ~off:fresh (Bytes.make node_bytes '\000');
+        persist t ~off:fresh ~size:node_bytes;
+        fresh
+      end
+      else begin
+        let fresh = alloc_node t in
+        write t (child_addr node i) (Int64.of_int fresh);
+        persist t ~off:(child_addr node i) ~size:8;
+        fresh
+      end)
+
+let put t ~key:k ~value:v =
+  t.framer.frame "wort.put" (fun () ->
+      let k = radix_key k in
+      let rec go node level =
+        let i = nibble k level in
+        if level = levels - 1 then begin
+          let existing = child t node i in
+          if existing <> 0 && Int64.equal (leaf_key t existing) k then begin
+            (* in-place atomic value update *)
+            write t (existing + 8) v;
+            persist t ~off:(existing + 8) ~size:8
+          end
+          else
+            t.framer.frame "wort.insert_leaf" (fun () ->
+                let leaf = Pmalloc.Alloc.alloc ~zero:true t.heap ~bytes:leaf_bytes in
+                write t leaf k;
+                write t (leaf + 8) v;
+                if Bugreg.enabled bug_leaf_unflushed.Bugreg.id then begin
+                  (* BUG: linked before flushed; one fence covers both *)
+                  write t (child_addr node i) (Int64.of_int leaf);
+                  Pmalloc.Pool.flush t.pool ~off:leaf ~size:16;
+                  Pmalloc.Pool.flush t.pool ~off:(child_addr node i) ~size:8;
+                  Pmalloc.Pool.drain t.pool
+                end
+                else begin
+                  persist t ~off:leaf ~size:16;
+                  if Bugreg.enabled bug_redundant_flush.Bugreg.id then
+                    persist t ~off:leaf ~size:16;
+                  write t (child_addr node i) (Int64.of_int leaf);
+                  persist t ~off:(child_addr node i) ~size:8
+                end;
+                set_global_count t (count t + 1))
+        end
+        else begin
+          let next = child t node i in
+          let next = if next <> 0 then next else grow t node i in
+          go next (level + 1)
+        end
+      in
+      go (root t) 0)
+
+let delete t ~key:k =
+  t.framer.frame "wort.delete" (fun () ->
+      let k = radix_key k in
+      let rec go node level =
+        if node = 0 then false
+        else
+          let i = nibble k level in
+          if level = levels - 1 then begin
+            let leaf = child t node i in
+            if leaf <> 0 && Int64.equal (leaf_key t leaf) k then begin
+              write t (child_addr node i) 0L;
+              persist t ~off:(child_addr node i) ~size:8;
+              set_global_count t (count t - 1);
+              Pmalloc.Alloc.free t.heap leaf;
+              true
+            end
+            else false
+          end
+          else go (child t node i) (level + 1)
+      in
+      go (root t) 0)
+
+(* --- consistency check --- *)
+
+(* Walks the whole tree; returns the number of leaves. Fails on pointers
+   outside the heap or leaves whose key disagrees with their position. *)
+let count_leaves t =
+  let open Util in
+  let rec walk node level =
+    let* () = check_that (in_heap t.pool node) (Printf.sprintf "node %d outside heap" node) in
+    let rec each i total =
+      if i = 16 then Ok total
+      else
+        let c = child t node i in
+        if c = 0 then each (i + 1) total
+        else if level = levels - 1 then
+          let* () = check_that (in_heap t.pool c) (Printf.sprintf "leaf %d outside heap" c) in
+          let* () =
+            check_that
+              (nibble (leaf_key t c) level = i)
+              (Printf.sprintf "leaf %d misplaced under node %d slot %d" c node i)
+          in
+          each (i + 1) (total + 1)
+        else
+          let* sub = walk c (level + 1) in
+          each (i + 1) (total + sub)
+    in
+    each 0 0
+  in
+  (* also validate the leaf path prefix: a leaf's key must route to it *)
+  walk (root t) 0
+
+let check t =
+  let open Util in
+  let* total = count_leaves t in
+  (* the global counter may be one off due to an in-flight operation *)
+  check_that
+    (abs (total - count t) <= 1)
+    (Printf.sprintf "element count mismatch: counted %d, stored %d" total (count t))
+
+let recover dev =
+  recover_with dev ~validate:(fun pool heap ->
+      let t = open_existing pool heap in
+      match count_leaves t with
+      | Error e -> Error ("wort check: " ^ e)
+      | Ok total ->
+          (* repair the eventually-consistent counter *)
+          if total <> count t then set_global_count t total;
+          let probe_key = 0xFFFF_FFFFL in
+          put t ~key:probe_key ~value:1L;
+          let seen = get t ~key:probe_key in
+          let _ = delete t ~key:probe_key in
+          if seen = Some 1L then Ok () else Error "wort probe: inserted key not visible")

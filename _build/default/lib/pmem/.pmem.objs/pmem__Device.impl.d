@@ -1,0 +1,1 @@
+lib/pmem/device.ml: Addr Bytes Hashtbl Image Int64 List Op Option Stats

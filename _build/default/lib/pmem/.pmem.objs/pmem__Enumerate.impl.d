@@ -1,0 +1,1 @@
+lib/pmem/enumerate.ml: Addr Bytes Device Fun Image List Seq

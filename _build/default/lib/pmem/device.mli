@@ -1,0 +1,123 @@
+(** Simulated persistent-memory device implementing the x86 relaxed, buffered
+    persistency model described in paper section 2.
+
+    The device separates three domains:
+    - the {e persistent image}: bytes that survive any crash (medium + WPQ,
+      i.e. the ADR domain);
+    - the {e volatile cache overlay}: per-line contents holding stores that
+      have not yet been persisted;
+    - the {e pending queues}: snapshots captured by [clflushopt]/[clwb] (or
+      written by non-temporal stores) that only reach the persistent image
+      once a fence executes.
+
+    Every PM-relevant instruction can be observed through a hook, which is how
+    the instrumentation layer (the Intel Pin analogue) and the fault injector
+    attach to an application run. The hook runs {e before} the instruction
+    takes effect, so raising from the hook models a crash at that
+    instruction. *)
+
+type t
+
+type crash_policy =
+  | Program_prefix
+      (** Mumak's graceful crash: every store issued so far is persisted, so
+          the post-failure state is the deterministic program-order prefix. *)
+  | Adr  (** Only fenced (already persistent) data survives. *)
+  | Adr_with_pending
+      (** Fenced data plus flushes that were issued but not yet fenced (they
+          may or may not have drained; this policy assumes they did). *)
+
+exception Out_of_bounds of { addr : int; size : int; device_size : int }
+
+val create : ?eadr:bool -> size:int -> unit -> t
+(** [create ~size ()] is a device with a zeroed persistent image of [size]
+    bytes and an empty cache. [eadr] extends the persistence domain to the
+    CPU caches (Enhanced Asynchronous DRAM Refresh, paper section 2): every
+    globally visible store then survives a crash, flushes become
+    performance-only, but fences still order non-temporal stores. *)
+
+val of_image : ?eadr:bool -> Image.t -> t
+(** [of_image img] is a device whose persistent image is a snapshot of [img]
+    and whose cache is empty — the state of the machine right after a
+    restart. *)
+
+val size : t -> int
+
+val eadr : t -> bool
+val stats : t -> Stats.t
+
+val set_hook : t -> (Op.t -> unit) option -> unit
+(** Install (or remove) the instrumentation hook. *)
+
+val hook_installed : t -> bool
+
+val trace_loads : t -> bool -> unit
+(** Enable or disable emission of {!Op.Load} events (off by default; only
+    the XFDetector baseline needs them). *)
+
+(** {1 Data path} *)
+
+val store : t -> addr:int -> bytes -> unit
+val store_i64 : t -> addr:int -> int64 -> unit
+val store_nt : t -> addr:int -> bytes -> unit
+(** Non-temporal store: bypasses the cache but is buffered until a fence. *)
+
+val poison : t -> addr:int -> size:int -> unit
+(** Fill a range with a 0xDD garbage pattern {e without} emitting
+    instrumentation events: models pre-existing (uninitialised) memory
+    contents handed out by an allocator, which are not program stores. The
+    garbage is visible to loads and present in crash images. *)
+
+val store_nt_i64 : t -> addr:int -> int64 -> unit
+val load : t -> addr:int -> size:int -> bytes
+val load_i64 : t -> addr:int -> int64
+
+(** {1 Persistency instructions} *)
+
+val clflush : t -> addr:int -> unit
+(** Persist the line containing [addr] immediately (strongly ordered). *)
+
+val clflushopt : t -> addr:int -> unit
+(** Queue the line containing [addr] for persistence at the next fence and
+    invalidate it. *)
+
+val clwb : t -> addr:int -> unit
+(** Queue the line containing [addr] for persistence at the next fence,
+    keeping it cached. *)
+
+val flush_range : t -> kind:Op.flush_kind -> addr:int -> size:int -> unit
+(** Flush every line spanned by [size] bytes at [addr]. *)
+
+val sfence : t -> unit
+val mfence : t -> unit
+
+val cas : t -> addr:int -> expected:int64 -> desired:int64 -> bool
+(** Compare-and-swap on an 8-byte slot; carries fence semantics (drains
+    pending flushes and non-temporal stores), per paper section 2. *)
+
+val fetch_add : t -> addr:int -> int64 -> int64
+(** Fetch-and-add on an 8-byte slot; carries fence semantics. *)
+
+(** {1 Crash generation} *)
+
+val crash : t -> policy:crash_policy -> Image.t
+(** [crash t ~policy] is the persistent image a restart would observe under
+    [policy]. The device itself is left untouched. *)
+
+val persisted_image : t -> Image.t
+(** Snapshot of the current persistent image (equivalent to
+    [crash ~policy:Adr]). *)
+
+val volatile_view : t -> Image.t
+(** The program's own view of memory: persistent image overlaid with all
+    cached stores. This is what loads observe. *)
+
+val line_versions : t -> (int * bytes list) list
+(** For every line holding unpersisted data, the candidate contents that a
+    crash could leave behind, oldest first (pending flush snapshot, then
+    current dirty contents if newer). Used by the exhaustive (Yat-style)
+    crash-state enumerator. *)
+
+val unpersisted_line_count : t -> int
+val pending_flush_count : t -> int
+val pending_nt_count : t -> int

@@ -1,0 +1,102 @@
+(** Exhaustive enumeration of permissible post-failure images.
+
+    Under the x86 relaxed-buffered model, any subset of the unpersisted line
+    contents may have reached PM when the machine dies: dirty lines can be
+    evicted at any time and unfenced flushes may or may not have drained.
+    A line with both an unfenced flush snapshot and newer dirty content can be
+    observed in three states (persisted, snapshot, newest). This module
+    enumerates these combinations — the search space Yat replays and Mumak
+    deliberately avoids (paper sections 3 and 4.1). *)
+
+(** A choice assigns, per unpersisted line, which version (if any) persisted.
+    [None] = the already-persistent content; [Some i] = the i-th candidate
+    from {!Device.line_versions}. *)
+type choice = (int * int option) list
+
+let apply_choice base versions (choice : choice) =
+  let img = Image.snapshot base in
+  List.iter
+    (fun (line, pick) ->
+      match pick with
+      | None -> ()
+      | Some i ->
+          let content = List.nth (List.assoc line versions) i in
+          let addr = Addr.line_base line in
+          let avail = min Addr.line_size (Image.size img - addr) in
+          if avail > 0 then Image.blit_to img ~dst_addr:addr ~src:content ~src_off:0 ~len:avail)
+    choice;
+  img
+
+(* Number of post-failure states: product over lines of (1 + versions),
+   saturating at max_int (the space easily overflows 62 bits — the point of
+   the whole paper). *)
+let state_count versions =
+  List.fold_left
+    (fun acc (_, vs) ->
+      let k = 1 + List.length vs in
+      if acc > max_int / k then max_int else acc * k)
+    1 versions
+
+(** [images dev ~limit] is the sequence of distinct post-failure images of
+    [dev], at cache-line granularity, capped at [limit] images. The first
+    image is always the pure-ADR state (nothing extra persisted) and the
+    enumeration ends with the full program-order prefix. Returns the images
+    paired with the total (uncapped) state count. *)
+let images dev ~limit =
+  let base = Device.persisted_image dev in
+  let versions = Device.line_versions dev in
+  let total = state_count versions in
+  let rec expand lines : choice Seq.t =
+    match lines with
+    | [] -> Seq.return []
+    | (line, vs) :: rest ->
+        let picks =
+          Seq.cons None (Seq.init (List.length vs) (fun i -> Some i))
+        in
+        Seq.concat_map
+          (fun pick -> Seq.map (fun tail -> (line, pick) :: tail) (expand rest))
+          picks
+  in
+  let seq =
+    expand versions |> Seq.take limit |> Seq.map (apply_choice base versions)
+  in
+  (seq, total)
+
+(** Like {!images} but at 8-byte-slot granularity within each line, modelling
+    the finer failure-atomicity unit. The space grows as 2^(slots), so this is
+    only usable on tiny windows; the cap applies. *)
+let images_slot_granular dev ~limit =
+  let base = Device.persisted_image dev in
+  let versions = Device.line_versions dev in
+  (* For each line take the newest unpersisted content and split it into the
+     8 slots that differ from the persisted content; each slot independently
+     persists or not. *)
+  let slots =
+    List.concat_map
+      (fun (line, vs) ->
+        let newest = List.nth vs (List.length vs - 1) in
+        let addr0 = Addr.line_base line in
+        List.filter_map
+          (fun k ->
+            let addr = addr0 + (k * Addr.atomic_size) in
+            if addr + Addr.atomic_size > Image.size base then None
+            else
+              let persisted = Image.read base ~addr ~size:Addr.atomic_size in
+              let candidate = Bytes.sub newest (k * Addr.atomic_size) Addr.atomic_size in
+              if Bytes.equal persisted candidate then None else Some (addr, candidate))
+          (List.init (Addr.line_size / Addr.atomic_size) Fun.id))
+      versions
+  in
+  let n = List.length slots in
+  let total = if n >= 62 then max_int else 1 lsl n in
+  let nth_image mask =
+    let img = Image.snapshot base in
+    List.iteri
+      (fun i (addr, content) ->
+        if mask land (1 lsl i) <> 0 then
+          Image.blit_to img ~dst_addr:addr ~src:content ~src_off:0 ~len:Addr.atomic_size)
+      slots;
+    img
+  in
+  let seq = Seq.init (min limit total) nth_image in
+  (seq, total)

@@ -1,0 +1,41 @@
+type t = { buf : bytes }
+
+let create ~size =
+  assert (size > 0);
+  { buf = Bytes.make size '\000' }
+
+let size t = Bytes.length t.buf
+let snapshot t = { buf = Bytes.copy t.buf }
+
+let check t addr size =
+  if addr < 0 || size < 0 || addr + size > Bytes.length t.buf then
+    invalid_arg
+      (Printf.sprintf "Pmem.Image: access [%d, %d) out of bounds (size %d)" addr
+         (addr + size) (Bytes.length t.buf))
+
+let read t ~addr ~size =
+  check t addr size;
+  Bytes.sub t.buf addr size
+
+let write t ~addr b =
+  check t addr (Bytes.length b);
+  Bytes.blit b 0 t.buf addr (Bytes.length b)
+
+let read_i64 t ~addr =
+  check t addr 8;
+  Bytes.get_int64_le t.buf addr
+
+let write_i64 t ~addr v =
+  check t addr 8;
+  Bytes.set_int64_le t.buf addr v
+
+let blit_from t ~src_addr ~dst ~dst_off ~len =
+  check t src_addr len;
+  Bytes.blit t.buf src_addr dst dst_off len
+
+let blit_to t ~dst_addr ~src ~src_off ~len =
+  check t dst_addr len;
+  Bytes.blit src src_off t.buf dst_addr len
+
+let equal a b = Bytes.equal a.buf b.buf
+let unsafe_bytes t = t.buf

@@ -1,0 +1,38 @@
+(** A persistent-memory image: the bytes that actually survive a crash.
+
+    The image models the contents of the physical medium (including the
+    write-pending queue, which sits inside the ADR persistence domain).
+    Everything written here is durable; everything not yet written here is
+    lost on a crash. *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] is a zero-filled image of [size] bytes. *)
+
+val size : t -> int
+
+val snapshot : t -> t
+(** [snapshot t] is an independent deep copy of [t]. *)
+
+val read : t -> addr:int -> size:int -> bytes
+(** [read t ~addr ~size] copies [size] bytes starting at [addr]. *)
+
+val write : t -> addr:int -> bytes -> unit
+(** [write t ~addr b] writes all of [b] at [addr]. *)
+
+val read_i64 : t -> addr:int -> int64
+(** Little-endian 8-byte load. *)
+
+val write_i64 : t -> addr:int -> int64 -> unit
+(** Little-endian 8-byte store. *)
+
+val blit_from : t -> src_addr:int -> dst:bytes -> dst_off:int -> len:int -> unit
+val blit_to : t -> dst_addr:int -> src:bytes -> src_off:int -> len:int -> unit
+
+val equal : t -> t -> bool
+(** Byte-wise equality of two images. *)
+
+val unsafe_bytes : t -> bytes
+(** The underlying buffer, for bulk operations. Mutating it bypasses the
+    persistence model; reserved for the device implementation. *)

@@ -1,0 +1,48 @@
+(** Descriptors for the PM-relevant instructions the device executes.
+
+    These are what the instrumentation layer (the Pin analogue) observes.
+    The taxonomy follows paper section 2: stores (regular and non-temporal),
+    the three flush variants, the two fences, and read-modify-write
+    instructions which carry fence semantics. *)
+
+type flush_kind = Clflush | Clflushopt | Clwb
+
+type fence_kind = Sfence | Mfence | Rmw
+
+type t =
+  | Store of { addr : int; size : int; nt : bool }
+      (** A store to PM. [nt] marks non-temporal (cache-bypassing) stores. *)
+  | Flush of { kind : flush_kind; line : int; dirty : bool; volatile : bool }
+      (** A flush of cache line [line]. [dirty] records whether the line had
+          unpersisted stores at flush time; [volatile] records whether the
+          flushed address lies outside the PM pool. *)
+  | Fence of { kind : fence_kind; pending_flushes : int; pending_nt : int }
+      (** A fence draining [pending_flushes] buffered flushes and
+          [pending_nt] buffered non-temporal stores. *)
+  | Load of { addr : int; size : int }
+      (** A load from PM. Only emitted when load tracing is enabled. *)
+
+let flush_kind_to_string = function
+  | Clflush -> "clflush"
+  | Clflushopt -> "clflushopt"
+  | Clwb -> "clwb"
+
+let fence_kind_to_string = function
+  | Sfence -> "sfence"
+  | Mfence -> "mfence"
+  | Rmw -> "rmw"
+
+let to_string = function
+  | Store { addr; size; nt } ->
+      Printf.sprintf "%s addr=%d size=%d" (if nt then "store.nt" else "store") addr size
+  | Flush { kind; line; dirty; volatile } ->
+      Printf.sprintf "%s line=%d dirty=%b volatile=%b" (flush_kind_to_string kind) line
+        dirty volatile
+  | Fence { kind; pending_flushes; pending_nt } ->
+      Printf.sprintf "%s pending_flushes=%d pending_nt=%d" (fence_kind_to_string kind)
+        pending_flushes pending_nt
+  | Load { addr; size } -> Printf.sprintf "load addr=%d size=%d" addr size
+
+let is_persistency_instruction = function
+  | Flush _ | Fence _ -> true
+  | Store _ | Load _ -> false

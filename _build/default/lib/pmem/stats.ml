@@ -1,0 +1,43 @@
+(** Running counters of device activity, used for the resource-usage table
+    (Table 2) and the micro-benchmarks. *)
+
+type t = {
+  mutable stores : int;
+  mutable nt_stores : int;
+  mutable loads : int;
+  mutable clflush : int;
+  mutable clflushopt : int;
+  mutable clwb : int;
+  mutable sfence : int;
+  mutable mfence : int;
+  mutable rmw : int;
+  mutable bytes_written : int;
+  mutable high_water_mark : int;  (** highest PM address ever stored to + 1 *)
+}
+
+let create () =
+  {
+    stores = 0;
+    nt_stores = 0;
+    loads = 0;
+    clflush = 0;
+    clflushopt = 0;
+    clwb = 0;
+    sfence = 0;
+    mfence = 0;
+    rmw = 0;
+    bytes_written = 0;
+    high_water_mark = 0;
+  }
+
+let copy t = { t with stores = t.stores }
+
+let flushes t = t.clflush + t.clflushopt + t.clwb
+let fences t = t.sfence + t.mfence + t.rmw
+
+let pp ppf t =
+  Fmt.pf ppf
+    "stores=%d nt=%d loads=%d clflush=%d clflushopt=%d clwb=%d sfence=%d mfence=%d \
+     rmw=%d bytes=%d hwm=%d"
+    t.stores t.nt_stores t.loads t.clflush t.clflushopt t.clwb t.sfence t.mfence t.rmw
+    t.bytes_written t.high_water_mark

@@ -1,0 +1,1 @@
+lib/pmtrace/callstack.mli:

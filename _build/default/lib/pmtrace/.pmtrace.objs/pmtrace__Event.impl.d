@@ -1,0 +1,1 @@
+lib/pmtrace/event.ml: Callstack Fmt Pmem

@@ -1,0 +1,1 @@
+lib/pmtrace/trace.ml: Event List

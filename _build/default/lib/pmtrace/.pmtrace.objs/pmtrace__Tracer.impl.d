@@ -1,0 +1,1 @@
+lib/pmtrace/tracer.ml: Callstack Event Fun Hashtbl List Pmem Trace

@@ -1,0 +1,1 @@
+lib/pmtrace/tracer.mli: Callstack Event Hashtbl Pmem Trace

@@ -1,0 +1,64 @@
+(** Explicit call stacks, the analogue of Pin's filtered backtraces.
+
+    Applications under test wrap each function body in {!with_frame}. Within
+    one frame activation we also count the PM instructions executed so far;
+    the pair (frame path, instruction index inside the innermost frame) is
+    the reproduction's notion of an "instruction address": it is stable
+    across repeated deterministic executions, exactly like a code address
+    with ASLR disabled (paper section 5). *)
+
+type frame = { label : string; mutable op_index : int }
+
+type t = { mutable frames : frame list (* innermost first *) }
+
+(* Every stack bottoms out in a permanent root frame — the analogue of
+   [_start] in Figure 2 — so that PM instructions executed outside any
+   application frame (library internals, the workload driver) still get
+   distinct instruction identities. *)
+let root_label = "_start"
+
+let create () = { frames = [ { label = root_label; op_index = 0 } ] }
+let depth t = List.length t.frames - 1
+
+let push t label = t.frames <- { label; op_index = 0 } :: t.frames
+
+let pop t =
+  match t.frames with
+  | [] | [ _ ] -> invalid_arg "Callstack.pop: empty stack"
+  | _ :: rest -> t.frames <- rest
+
+let with_frame t label f =
+  push t label;
+  match f () with
+  | v ->
+      pop t;
+      v
+  | exception e ->
+      pop t;
+      raise e
+
+(* Called by the tracer on every PM instruction: bumps the per-activation
+   instruction counter of the innermost frame. *)
+let tick t =
+  match t.frames with [] -> () | f :: _ -> f.op_index <- f.op_index + 1
+
+(** A captured stack: outermost label first, with the innermost frame's
+    current instruction index as the "address" of the leaf instruction. *)
+type capture = { path : string list; op_index : int }
+
+let capture t =
+  let path = List.rev_map (fun f -> f.label) t.frames in
+  let op_index = match t.frames with [] -> 0 | f :: _ -> f.op_index in
+  { path; op_index }
+
+let capture_to_string { path; op_index } =
+  String.concat " > " path ^ Printf.sprintf " @%d" op_index
+
+let capture_equal a b = a.op_index = b.op_index && List.equal String.equal a.path b.path
+
+let capture_compare a b =
+  match compare a.op_index b.op_index with
+  | 0 -> compare a.path b.path
+  | c -> c
+
+let capture_hash c = Hashtbl.hash (c.path, c.op_index)

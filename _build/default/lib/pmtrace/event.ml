@@ -1,0 +1,20 @@
+(** A traced PM access: the device operation plus the execution context the
+    instrumentation captured (monotonic instruction counter and, optionally,
+    the call stack).
+
+    Mirroring the optimisation in paper section 5, full backtraces are
+    expensive, so traces normally carry only the instruction counter; the
+    stack is re-attached on demand by a second, minimally instrumented
+    execution (see {!Tracer.resolve_stacks}). *)
+
+type t = {
+  seq : int;  (** monotonically increasing instruction counter *)
+  op : Pmem.Op.t;
+  stack : Callstack.capture option;
+}
+
+let pp ppf e =
+  Fmt.pf ppf "#%d %s%s" e.seq (Pmem.Op.to_string e.op)
+    (match e.stack with
+    | None -> ""
+    | Some c -> " [" ^ Callstack.capture_to_string c ^ "]")

@@ -1,0 +1,36 @@
+(** The frame-announcement interface applications compile against.
+
+    An application under test wraps each function body in [framer.frame
+    "name"]; with no tool attached the framer is a no-op, and under
+    instrumentation it maintains the call stack the failure-point tree is
+    built from. This is the only concession applications make to the
+    black-box tooling — the moral equivalent of being a binary Pin can
+    walk. *)
+
+type t = { frame : 'a. string -> (unit -> 'a) -> 'a }
+
+let null = { frame = (fun _label f -> f ()) }
+
+(** A framer backed by an explicit call stack. *)
+let of_callstack cs = { frame = (fun label f -> Callstack.with_frame cs label f) }
+
+(** The ambient framer: library internals (allocator, logs) announce their
+    loop bodies through it so that one code location stays one instruction
+    identity regardless of iteration count — the way real instruction
+    addresses behave. The workload driver installs the instrumented framer
+    here for the duration of a run. *)
+let ambient : t ref = ref null
+
+let in_ambient label f = !ambient.frame label f
+
+(** Install [t] as ambient for the duration of [f]. *)
+let with_ambient t f =
+  let saved = !ambient in
+  ambient := t;
+  match f () with
+  | v ->
+      ambient := saved;
+      v
+  | exception e ->
+      ambient := saved;
+      raise e

@@ -1,0 +1,29 @@
+(** An in-memory trace of PM accesses, collected during one execution of the
+    workload and consumed in a single pass by the analyses. *)
+
+type t = { mutable events : Event.t list (* newest first *); mutable length : int }
+
+let create () = { events = []; length = 0 }
+
+let add t e =
+  t.events <- e :: t.events;
+  t.length <- t.length + 1
+
+let length t = t.length
+let clear t =
+  t.events <- [];
+  t.length <- 0
+
+(** [iter t f] applies [f] to every event in execution order. *)
+let iter t f = List.iter f (List.rev t.events)
+
+(** [fold t init f] folds over events in execution order. *)
+let fold t init f = List.fold_left f init (List.rev t.events)
+
+let to_list t = List.rev t.events
+
+(** Approximate resident size of the trace in words, for the Table 2
+    resource accounting. *)
+let approx_size_words t =
+  (* one list cell (3 words) + one record (4 words) + op payload (~6 words) *)
+  t.length * 13

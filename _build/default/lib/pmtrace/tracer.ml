@@ -1,0 +1,83 @@
+(** Glue between a {!Pmem.Device} and trace collection: the Pin-tool
+    analogue. A tracer owns the call stack the application pushes frames
+    onto, assigns instruction counters, and appends events to a trace.
+
+    Extra listeners can be attached (the fault injector attaches one to
+    watch for failure points without paying for trace storage). *)
+
+type t = {
+  device : Pmem.Device.t;
+  stack : Callstack.t;
+  trace : Trace.t;
+  mutable seq : int;
+  mutable collect : bool;  (** append events to the trace buffer *)
+  mutable with_stacks : bool;  (** capture a backtrace on every event *)
+  mutable listeners : (Event.t -> Callstack.t -> unit) list;
+}
+
+let create ?(collect = true) ?(with_stacks = false) device =
+  let t =
+    {
+      device;
+      stack = Callstack.create ();
+      trace = Trace.create ();
+      seq = 0;
+      collect;
+      with_stacks;
+      listeners = [];
+    }
+  in
+  Pmem.Device.set_hook device
+    (Some
+       (fun op ->
+         t.seq <- t.seq + 1;
+         Callstack.tick t.stack;
+         let stack = if t.with_stacks then Some (Callstack.capture t.stack) else None in
+         let event = { Event.seq = t.seq; op; stack } in
+         List.iter (fun l -> l event t.stack) t.listeners;
+         if t.collect then Trace.add t.trace event));
+  t
+
+let device t = t.device
+let trace t = t.trace
+let stack t = t.stack
+let seq t = t.seq
+
+let detach t = Pmem.Device.set_hook t.device None
+
+let add_listener t l = t.listeners <- t.listeners @ [ l ]
+
+let set_collect t flag = t.collect <- flag
+let set_with_stacks t flag = t.with_stacks <- flag
+
+(** [with_frame t label f] runs [f] with [label] pushed on the traced call
+    stack; applications under test use this at function entry. *)
+let with_frame t label f = Callstack.with_frame t.stack label f
+
+(** Re-attach call stacks to a stack-less trace by re-running the same
+    deterministic execution with minimal instrumentation: [run] must repeat
+    the exact original execution against [t.device]. Events whose [seq]
+    appears in [wanted] get their stacks captured; the resolved captures are
+    returned indexed by [seq]. This mirrors the instruction-counter
+    optimisation of paper section 5. *)
+let resolve_stacks t ~wanted ~run =
+  let want = Hashtbl.create (List.length wanted) in
+  List.iter (fun s -> Hashtbl.replace want s ()) wanted;
+  let resolved = Hashtbl.create (List.length wanted) in
+  let saved_collect = t.collect and saved_stacks = t.with_stacks and saved_seq = t.seq in
+  t.collect <- false;
+  t.with_stacks <- false;
+  t.seq <- 0;
+  let listener event stack =
+    if Hashtbl.mem want event.Event.seq then
+      Hashtbl.replace resolved event.Event.seq (Callstack.capture stack)
+  in
+  t.listeners <- t.listeners @ [ listener ];
+  Fun.protect
+    ~finally:(fun () ->
+      t.listeners <- List.filter (fun l -> l != listener) t.listeners;
+      t.collect <- saved_collect;
+      t.with_stacks <- saved_stacks;
+      t.seq <- saved_seq)
+    run;
+  resolved

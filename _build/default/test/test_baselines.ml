@@ -1,0 +1,155 @@
+(* Tests for the baseline tools: each runs its published approach on small
+   workloads, catches the bug classes its Table 1 row promises — including
+   the ordering bugs Mumak deliberately misses — and respects the analysis
+   budget (the 12-hour-timeout analogue). *)
+
+let wl ?(ops = 60) ?(key_range = 25) () = Workload.standard ~ops ~key_range ~seed:17L
+
+let btree_target ?(ops = 60) () =
+  Targets.of_app (module Pmapps.Btree) ~version:Pmalloc.Version.V1_12
+    ~workload:(wl ~ops ()) ()
+
+let hm_atomic_kv () =
+  Baselines.Kv_target.make
+    (module Pmapps.Hashmap_atomic)
+    ~version:Pmalloc.Version.V1_6 ~workload:(wl ()) ()
+
+let correctness result =
+  Mumak.Report.correctness_bugs result.Baselines.Tool_intf.report
+
+let test_xfdetector_catches_atomicity () =
+  Bugreg.with_enabled [ "btree_insert_no_tx" ] (fun () ->
+      let r = Baselines.Xfdetector.analyze ~budget_s:30. (btree_target ~ops:40 ()) in
+      Alcotest.(check bool) "found" true (correctness r <> []))
+
+let test_xfdetector_work_counts_stores () =
+  let r = Baselines.Xfdetector.analyze ~budget_s:30. (btree_target ~ops:30 ()) in
+  (* store-level failure points vastly outnumber Mumak's persistency-level *)
+  let mumak = Mumak.Engine.analyze (btree_target ~ops:30 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "store FPs (%d) >> persistency FPs (%d)" r.Baselines.Tool_intf.work_total
+       mumak.Mumak.Engine.failure_points)
+    true
+    (r.Baselines.Tool_intf.work_total > mumak.Mumak.Engine.failure_points)
+
+let test_yat_explodes_and_times_out () =
+  let r = Baselines.Yat.analyze ~budget_s:0.5 (btree_target ~ops:200 ()) in
+  Alcotest.(check bool) "timed out" true r.Baselines.Tool_intf.timed_out;
+  Alcotest.(check bool) "state space far exceeds what was checked" true
+    (r.Baselines.Tool_intf.work_total > r.Baselines.Tool_intf.work_done)
+
+let test_yat_catches_reorder_bug () =
+  (* the WORT leaf-unflushed ordering bug is invisible to Mumak's
+     program-order prefixes; Yat's exhaustive reordering finds it *)
+  Bugreg.with_enabled [ "wort_leaf_unflushed" ] (fun () ->
+      let target =
+        Targets.of_app (module Pmapps.Wort) ~version:Pmalloc.Version.V1_12
+          ~workload:(Workload.standard ~ops:25 ~key_range:12 ~seed:29L)
+          ()
+      in
+      let r = Baselines.Yat.analyze ~budget_s:30. target in
+      Alcotest.(check bool) "reorder bug found" true (correctness r <> []))
+
+let test_pmdebugger_catches_durability_and_perf () =
+  Bugreg.with_enabled [ "level_hash_count_unpersisted"; "level_hash_redundant_flush" ]
+    (fun () ->
+      let target =
+        Targets.of_app (module Pmapps.Level_hash) ~version:Pmalloc.Version.V1_12
+          ~workload:(wl ()) ()
+      in
+      let r = Baselines.Pmdebugger.analyze ~budget_s:30. target in
+      let kinds =
+        List.map (fun f -> f.Mumak.Report.kind) (Mumak.Report.findings r.Baselines.Tool_intf.report)
+      in
+      Alcotest.(check bool) "durability" true (List.mem Mumak.Report.Durability_bug kinds);
+      Alcotest.(check bool) "redundant flush" true
+        (List.mem Mumak.Report.Redundant_flush kinds))
+
+let test_agamotto_catches_atomicity_and_perf () =
+  Bugreg.with_enabled [ "btree_insert_no_tx"; "btree_redundant_persist" ] (fun () ->
+      let kv =
+        Baselines.Kv_target.make
+          (module Pmapps.Btree)
+          ~version:Pmalloc.Version.V1_12 ~workload:(wl ~ops:40 ()) ()
+      in
+      let r = Baselines.Agamotto.analyze ~budget_s:60. kv in
+      Alcotest.(check bool) "atomicity found" true (correctness r <> []);
+      let kinds =
+        List.map (fun f -> f.Mumak.Report.kind) (Mumak.Report.findings r.Baselines.Tool_intf.report)
+      in
+      Alcotest.(check bool) "redundant flush found" true
+        (List.mem Mumak.Report.Redundant_flush kinds))
+
+let test_witcher_catches_mumak_missed_ordering_bug () =
+  (* hm_atomic_link_before_persist: the bucket head may persist before the
+     entry. Mumak only warns; Witcher's violating images + output
+     equivalence convict it. *)
+  Bugreg.with_enabled [ "hm_atomic_link_before_persist" ] (fun () ->
+      let r = Baselines.Witcher.analyze ~budget_s:60. (hm_atomic_kv ()) in
+      Alcotest.(check bool) "ordering bug found" true (correctness r <> []))
+
+let test_witcher_clean_no_false_positives () =
+  Bugreg.disable_all ();
+  let r = Baselines.Witcher.analyze ~budget_s:60. (hm_atomic_kv ()) in
+  Alcotest.(check (list string)) "no correctness findings" []
+    (List.map (fun f -> f.Mumak.Report.detail) (correctness r))
+
+let test_jaaru_catches_reorder_lazily () =
+  (* Jaaru's lazy exploration finds the same reorder bug as Yat while
+     checking far fewer states per fence interval *)
+  Bugreg.with_enabled [ "wort_leaf_unflushed" ] (fun () ->
+      let target =
+        Targets.of_app (module Pmapps.Wort) ~version:Pmalloc.Version.V1_12
+          ~workload:(Workload.standard ~ops:25 ~key_range:12 ~seed:29L)
+          ()
+      in
+      let j = Baselines.Jaaru.analyze ~budget_s:30. target in
+      Alcotest.(check bool) "reorder bug found" true (correctness j <> []);
+      let y = Baselines.Yat.analyze ~budget_s:30. target in
+      Alcotest.(check bool)
+        (Printf.sprintf "lazy (%d states) explores less than eager (%d)"
+           j.Baselines.Tool_intf.work_done y.Baselines.Tool_intf.work_done)
+        true
+        (j.Baselines.Tool_intf.work_done < y.Baselines.Tool_intf.work_done))
+
+let test_budget_respected () =
+  (* even an absurdly large workload must come back quickly when the budget
+     is tiny *)
+  let target = btree_target ~ops:2000 () in
+  let t0 = Unix.gettimeofday () in
+  let r = Baselines.Xfdetector.analyze ~budget_s:0.5 target in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "timed out flag" true r.Baselines.Tool_intf.timed_out;
+  Alcotest.(check bool) (Printf.sprintf "returned promptly (%.1fs)" elapsed) true
+    (elapsed < 20.)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "xfdetector",
+        [
+          Alcotest.test_case "catches atomicity" `Slow test_xfdetector_catches_atomicity;
+          Alcotest.test_case "store-level blowup" `Slow test_xfdetector_work_counts_stores;
+        ] );
+      ( "yat",
+        [
+          Alcotest.test_case "explodes" `Slow test_yat_explodes_and_times_out;
+          Alcotest.test_case "catches reorder bug" `Slow test_yat_catches_reorder_bug;
+        ] );
+      ( "pmdebugger",
+        [ Alcotest.test_case "durability + perf" `Slow test_pmdebugger_catches_durability_and_perf ]
+      );
+      ( "agamotto",
+        [ Alcotest.test_case "atomicity + perf" `Slow test_agamotto_catches_atomicity_and_perf ]
+      );
+      ( "jaaru",
+        [ Alcotest.test_case "lazy reorder detection" `Slow test_jaaru_catches_reorder_lazily ]
+      );
+      ( "witcher",
+        [
+          Alcotest.test_case "catches Mumak-missed ordering bug" `Slow
+            test_witcher_catches_mumak_missed_ordering_bug;
+          Alcotest.test_case "no false positives" `Slow test_witcher_clean_no_false_positives;
+        ] );
+      ("budget", [ Alcotest.test_case "respected" `Slow test_budget_respected ]);
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the larger codebases (pmemkv engines, Redis, RocksDB):
+   model-based functional correctness and clean crash-sweeps through the
+   Mumak engine (the Figure 5 targets must be analysable without false
+   correctness positives). *)
+
+let fresh size =
+  let dev = Pmem.Device.create ~size () in
+  let pool = Pmalloc.Pool.create ~version:Pmalloc.Version.V1_12 dev in
+  let heap = Pmalloc.Alloc.attach pool in
+  (dev, pool, heap)
+
+let ops = Workload.standard ~ops:450 ~key_range:150 ~seed:3L
+let k i = Printf.sprintf "key:%Ld" i
+let v i = Printf.sprintf "val:%Ld" i
+
+let model_driver ~put ~get ~del =
+  let model = Hashtbl.create 64 in
+  List.iter
+    (fun op ->
+      match op with
+      | Workload.Put (key, value) ->
+          put (k key) (v value);
+          Hashtbl.replace model (k key) (v value)
+      | Workload.Get key ->
+          if get (k key) <> Hashtbl.find_opt model (k key) then
+            Alcotest.failf "get mismatch for %s" (k key)
+      | Workload.Delete key ->
+          let expect = Hashtbl.mem model (k key) in
+          Hashtbl.remove model (k key);
+          if del (k key) <> expect then Alcotest.failf "delete mismatch for %s" (k key))
+    ops;
+  model
+
+let test_pmemkv engine () =
+  let _dev, pool, heap = fresh Kvstores.Pmemkv.min_pool_size in
+  let t = Kvstores.Pmemkv.create ~engine pool heap in
+  let model =
+    model_driver ~put:(Kvstores.Pmemkv.put t) ~get:(Kvstores.Pmemkv.get t)
+      ~del:(Kvstores.Pmemkv.remove t)
+  in
+  Alcotest.(check int) "count" (Hashtbl.length model) (Kvstores.Pmemkv.count t);
+  Alcotest.(check (result unit string)) "check" (Ok ()) (Kvstores.Pmemkv.check t)
+
+let test_redis () =
+  let _dev, pool, heap = fresh Kvstores.Redis_pm.min_pool_size in
+  let t = Kvstores.Redis_pm.create pool heap in
+  let model =
+    model_driver ~put:(Kvstores.Redis_pm.set t) ~get:(Kvstores.Redis_pm.get t)
+      ~del:(Kvstores.Redis_pm.del t)
+  in
+  Alcotest.(check int) "count" (Hashtbl.length model) (Kvstores.Redis_pm.count t);
+  Alcotest.(check (result unit string)) "check" (Ok ()) (Kvstores.Redis_pm.check t);
+  (* the 100-key workload forces at least one table growth + rehash *)
+  Alcotest.(check bool) "rehash happened" true (Kvstores.Redis_pm.ht0_size t > 32 || Kvstores.Redis_pm.rehash_idx t >= 0)
+
+let test_redis_incr () =
+  let _dev, pool, heap = fresh Kvstores.Redis_pm.min_pool_size in
+  let t = Kvstores.Redis_pm.create pool heap in
+  Alcotest.(check (result int string)) "incr fresh" (Ok 1) (Kvstores.Redis_pm.incr t "n");
+  Alcotest.(check (result int string)) "incr again" (Ok 2) (Kvstores.Redis_pm.incr t "n");
+  Kvstores.Redis_pm.set t "s" "abc";
+  Alcotest.(check bool) "incr non-int errors" true
+    (Result.is_error (Kvstores.Redis_pm.incr t "s"))
+
+let test_rocksdb () =
+  let _dev, pool, heap = fresh Kvstores.Rocksdb_pm.min_pool_size in
+  let t = Kvstores.Rocksdb_pm.create pool heap in
+  let model =
+    model_driver ~put:(Kvstores.Rocksdb_pm.put t) ~get:(Kvstores.Rocksdb_pm.get t)
+      ~del:(fun key ->
+        let existed = Kvstores.Rocksdb_pm.get t key <> None in
+        Kvstores.Rocksdb_pm.delete t key;
+        existed)
+  in
+  (* final read-back, exercising memtable + runs *)
+  Hashtbl.iter
+    (fun key value ->
+      if Kvstores.Rocksdb_pm.get t key <> Some value then
+        Alcotest.failf "rocksdb lost %s" key)
+    model;
+  (* the 400-op workload forces several memtable flushes *)
+  Alcotest.(check bool) "runs created" true (Kvstores.Rocksdb_pm.run_count t > 0)
+
+let test_rocksdb_wal_replay () =
+  let dev, pool, heap = fresh Kvstores.Rocksdb_pm.min_pool_size in
+  let t = Kvstores.Rocksdb_pm.create pool heap in
+  Kvstores.Rocksdb_pm.put t "a" "1";
+  Kvstores.Rocksdb_pm.put t "b" "2";
+  (* power cut: the memtable is gone; the WAL has the records *)
+  let img = Pmem.Device.crash dev ~policy:Pmem.Device.Adr in
+  Alcotest.(check (result unit string)) "wal replay recovers" (Ok ())
+    (Kvstores.Rocksdb_pm.recover (Pmem.Device.of_image img))
+
+let mumak_clean target_name target () =
+  Bugreg.disable_all ();
+  let result = Mumak.Engine.analyze target in
+  let correctness = Mumak.Report.correctness_bugs result.Mumak.Engine.report in
+  if correctness <> [] then
+    Alcotest.failf "%s (clean) reported correctness bugs:\n%s" target_name
+      (String.concat "\n" (List.map (Fmt.str "%a" Mumak.Report.pp_finding) correctness));
+  Alcotest.(check bool) "failure points" true (result.Mumak.Engine.failure_points > 5)
+
+let wl = Workload.standard ~ops:120 ~key_range:40 ~seed:21L
+
+let () =
+  Alcotest.run "kvstores"
+    [
+      ( "functional",
+        [
+          Alcotest.test_case "cmap vs model" `Quick (test_pmemkv Kvstores.Pmemkv.Cmap);
+          Alcotest.test_case "stree vs model" `Quick (test_pmemkv Kvstores.Pmemkv.Stree);
+          Alcotest.test_case "redis vs model" `Quick test_redis;
+          Alcotest.test_case "redis incr" `Quick test_redis_incr;
+          Alcotest.test_case "rocksdb vs model" `Quick test_rocksdb;
+          Alcotest.test_case "rocksdb wal replay" `Quick test_rocksdb_wal_replay;
+        ] );
+      ( "mumak-clean",
+        [
+          Alcotest.test_case "cmap" `Slow
+            (mumak_clean "cmap" (Targets.of_pmemkv ~engine:Kvstores.Pmemkv.Cmap ~workload:wl ()));
+          Alcotest.test_case "stree" `Slow
+            (mumak_clean "stree"
+               (Targets.of_pmemkv ~engine:Kvstores.Pmemkv.Stree ~workload:wl ()));
+          Alcotest.test_case "redis" `Slow
+            (mumak_clean "redis" (Targets.of_redis ~workload:wl ()));
+          Alcotest.test_case "rocksdb" `Slow
+            (mumak_clean "rocksdb" (Targets.of_rocksdb ~workload:wl ()));
+        ] );
+    ]

@@ -1,0 +1,381 @@
+(* Tests for the PMDK-analogue: pool lifecycle, redo-logged allocation,
+   undo-log transactions, and — crucially — crash-atomicity sweeps: we crash
+   every operation at every PM instruction and require recovery to restore a
+   consistent state. *)
+
+open Pmalloc
+
+let i64 = Testutil.Crash.i64
+let pool_size = 256 * 1024
+
+let fresh ?(version = Version.V1_12) () =
+  let dev = Pmem.Device.create ~size:pool_size () in
+  let pool = Pool.create ~version dev in
+  (dev, pool)
+
+(* --- pool lifecycle --- *)
+
+let test_create_attach () =
+  let dev, pool = fresh () in
+  let img = Pmem.Device.crash dev ~policy:Pmem.Device.Program_prefix in
+  let pool2 = Pool.attach (Pmem.Device.of_image img) in
+  Alcotest.(check string) "version survives" "1.12"
+    (Version.to_string (Pool.version pool2));
+  Alcotest.(check int) "size" (Pool.size pool) (Pool.size pool2)
+
+let test_header_corruption_detected () =
+  let dev, _pool = fresh () in
+  let img = Pmem.Device.crash dev ~policy:Pmem.Device.Program_prefix in
+  Bytes.set (Pmem.Image.unsafe_bytes img) 20 '\xff';
+  Alcotest.check_raises "corrupt header"
+    (Pool.Corrupted "header checksum mismatch")
+    (fun () -> ignore (Pool.attach (Pmem.Device.of_image img)))
+
+let test_root_roundtrip () =
+  let dev, pool = fresh () in
+  Pool.set_root pool ~off:8192 ~size:128;
+  let img = Pmem.Device.crash dev ~policy:Pmem.Device.Program_prefix in
+  let pool2 = Pool.attach (Pmem.Device.of_image img) in
+  Alcotest.(check (option (pair int int))) "root" (Some (8192, 128)) (Pool.root pool2)
+
+(* --- allocator --- *)
+
+let test_alloc_free_reuse () =
+  let _dev, pool = fresh () in
+  let heap = Alloc.attach pool in
+  let a = Alloc.alloc heap ~bytes:100 in
+  let b = Alloc.alloc heap ~bytes:200 in
+  Alcotest.(check bool) "disjoint" true (b >= a + 128 || a >= b + 256);
+  Alcotest.(check int) "size a (2 chunks)" 128 (Alloc.alloc_size heap a);
+  Alcotest.(check int) "size b (4 chunks)" 256 (Alloc.alloc_size heap b);
+  Alloc.free heap a;
+  let c = Alloc.alloc heap ~bytes:64 in
+  Alcotest.(check bool) "freed space reusable" true (c >= 0);
+  Alcotest.(check (result unit string)) "bitmap consistent" (Ok ()) (Alloc.check pool)
+
+let test_alloc_zeroing_by_version () =
+  let _dev, pool16 = fresh ~version:Version.V1_6 () in
+  let heap = Alloc.attach pool16 in
+  let a = Alloc.alloc heap ~bytes:64 in
+  Alcotest.check i64 "V1_6 zeroes" 0L (Pool.read_i64 pool16 ~off:a);
+  let _dev, pool112 = fresh ~version:Version.V1_12 () in
+  let heap = Alloc.attach pool112 in
+  let a = Alloc.alloc heap ~bytes:64 in
+  Alcotest.(check bool) "V1_12 poisons" true (Pool.read_i64 pool112 ~off:a <> 0L);
+  let b = Alloc.alloc ~zero:true heap ~bytes:64 in
+  Alcotest.check i64 "explicit zero honoured" 0L (Pool.read_i64 pool112 ~off:b)
+
+let test_alloc_out_of_space () =
+  let _dev, pool = fresh () in
+  let heap = Alloc.attach pool in
+  let total = Alloc.chunk_count heap * 64 in
+  Alcotest.(check bool) "big alloc rejected" true
+    (match Alloc.alloc heap ~bytes:(total * 2) with
+    | exception Alloc.Out_of_space _ -> true
+    | _ -> false)
+
+let test_alloc_mirror_rebuilt_after_crash () =
+  let dev, pool = fresh () in
+  let heap = Alloc.attach pool in
+  let a = Alloc.alloc heap ~bytes:64 in
+  let img = Pmem.Device.crash dev ~policy:Pmem.Device.Program_prefix in
+  let pool2, heap2, _report = Recovery.open_pool (Pmem.Device.of_image img) in
+  ignore pool2;
+  Alcotest.(check int) "used chunks survive" (Alloc.used_chunks heap) (Alloc.used_chunks heap2);
+  Alloc.free heap2 a;
+  Alcotest.(check int) "free works after reattach" (Alloc.used_chunks heap - 1)
+    (Alloc.used_chunks heap2)
+
+(* --- redo log --- *)
+
+let test_redo_commit_applies () =
+  let _dev, pool = fresh () in
+  let b = Redo.begin_ () in
+  Redo.add b ~addr:8192 ~value:7L;
+  Redo.add b ~addr:8200 ~value:8L;
+  Redo.commit pool b;
+  Alcotest.check i64 "first applied" 7L (Pool.read_i64 pool ~off:8192);
+  Alcotest.check i64 "second applied" 8L (Pool.read_i64 pool ~off:8200)
+
+let test_redo_recover_is_idempotent () =
+  let dev, pool = fresh () in
+  let b = Redo.begin_ () in
+  Redo.add b ~addr:8192 ~value:7L;
+  Redo.commit pool b;
+  let img = Pmem.Device.crash dev ~policy:Pmem.Device.Program_prefix in
+  let pool2 = Pool.attach (Pmem.Device.of_image img) in
+  Alcotest.(check bool) "clean after commit" true (Redo.recover pool2 = `Clean);
+  Alcotest.check i64 "value still there" 7L (Pool.read_i64 pool2 ~off:8192)
+
+(* --- transactions --- *)
+
+let test_tx_commit_persists () =
+  let dev, pool = fresh () in
+  let heap = Alloc.attach pool in
+  let a = Alloc.alloc ~zero:true heap ~bytes:64 in
+  Tx.run ~heap pool (fun tx -> Tx.add_and_store_i64 tx ~off:a 42L);
+  let img = Pmem.Device.crash dev ~policy:Pmem.Device.Adr in
+  (* even a power-cut (nothing volatile survives) sees the committed data *)
+  let pool2, _heap2, _ = Recovery.open_pool (Pmem.Device.of_image img) in
+  Alcotest.check i64 "committed durable" 42L (Pool.read_i64 pool2 ~off:a)
+
+let test_tx_abort_rolls_back () =
+  let _dev, pool = fresh () in
+  let heap = Alloc.attach pool in
+  let a = Alloc.alloc ~zero:true heap ~bytes:64 in
+  Pool.persist_i64 pool ~off:a 1L;
+  (try
+     Tx.run ~heap pool (fun tx ->
+         Tx.add_and_store_i64 tx ~off:a 99L;
+         failwith "user abort")
+   with Failure _ -> ());
+  Alcotest.check i64 "rolled back" 1L (Pool.read_i64 pool ~off:a)
+
+let test_tx_large_overflow () =
+  let _dev, pool = fresh () in
+  let heap = Alloc.attach pool in
+  let a = Alloc.alloc ~zero:true heap ~bytes:8192 in
+  (* 8192/8 = 1024 single-slot snapshots > 128 fixed slots: forces the
+     extension chain to grow *)
+  Tx.run ~heap pool (fun tx ->
+      for i = 0 to 1023 do
+        Tx.add_and_store_i64 tx ~off:(a + (i * 8)) (Int64.of_int i)
+      done);
+  Alcotest.check i64 "first" 0L (Pool.read_i64 pool ~off:a);
+  Alcotest.check i64 "last" 1023L (Pool.read_i64 pool ~off:(a + 8184));
+  Alcotest.(check (result unit string)) "no leaked extensions: bitmap sane" (Ok ())
+    (Alloc.check pool);
+  (* all extension chunks must have been freed again *)
+  Alcotest.(check int) "only the data allocation remains" (8192 / 64)
+    (Alloc.used_chunks heap)
+
+let test_tx_nested_rejected () =
+  let _dev, pool = fresh () in
+  let _tx = Tx.begin_ pool in
+  Alcotest.(check bool) "second begin rejected" true
+    (match Tx.begin_ pool with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- crash sweeps: the core guarantee --- *)
+
+(* Run [scenario] against a freshly formatted pool, crash at every PM
+   instruction, and require that recovery succeeds and [validate] holds on
+   the recovered pool. [prepare] runs before injection is armed. *)
+let sweep_scenario ?(version = Version.V1_12) ?(prepare = fun _ _ -> ()) ~name scenario
+    validate =
+  let setup dev =
+    let pool = Pool.create ~version dev in
+    let heap = Alloc.attach pool in
+    prepare pool heap;
+    (pool, heap)
+  in
+  let run (pool, heap) = scenario pool heap in
+  let checked =
+    Testutil.Crash.sweep ~size:pool_size ~policy:Pmem.Device.Program_prefix ~setup run
+      ~check:(fun ~at image ->
+        match Recovery.open_pool (Pmem.Device.of_image image) with
+        | pool, heap, _report -> validate ~at pool heap
+        | exception Pool.Corrupted msg ->
+            Alcotest.failf "%s: crash at op %d left unrecoverable pool: %s" name at msg)
+  in
+  Alcotest.(check bool) (name ^ ": sweep ran") true (checked > 0)
+
+let test_sweep_alloc_free () =
+  sweep_scenario ~name:"alloc/free"
+    (fun pool heap ->
+      ignore pool;
+      let a = Alloc.alloc heap ~bytes:128 in
+      let b = Alloc.alloc heap ~bytes:64 in
+      Alloc.free heap a;
+      ignore b)
+    (fun ~at pool _heap ->
+      match Alloc.check pool with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "bitmap inconsistent at op %d: %s" at e)
+
+let test_sweep_tx_atomicity () =
+  (* A transaction writes two cells; after any crash + recovery the cells
+     must be both-old or both-new. *)
+  sweep_scenario ~name:"tx atomicity"
+    ~prepare:(fun pool heap ->
+      let a = Alloc.alloc ~zero:true heap ~bytes:64 in
+      assert (a = (Pool.layout pool).Layout.heap_off);
+      Pool.persist_i64 pool ~off:a 1L;
+      Pool.persist_i64 pool ~off:(a + 8) 1L)
+    (fun pool heap ->
+      let a = (Pool.layout pool).Layout.heap_off in
+      Tx.run ~heap pool (fun tx ->
+          Tx.add_and_store_i64 tx ~off:a 2L;
+          Tx.add_and_store_i64 tx ~off:(a + 8) 2L))
+    (fun ~at pool _heap ->
+      let a = (Pool.layout pool).Layout.heap_off in
+      let x = Pool.read_i64 pool ~off:a and y = Pool.read_i64 pool ~off:(a + 8) in
+      let consistent =
+        (Int64.equal x 1L && Int64.equal y 1L) || (Int64.equal x 2L && Int64.equal y 2L)
+      in
+      if not consistent then
+        Alcotest.failf "atomicity violated at op %d: x=%Ld y=%Ld" at x y)
+
+let test_sweep_tx_overflow_clean_version () =
+  (* Large (overflow-using) transactions must also be crash-atomic when the
+     seeded 1.12 bug is disabled. The probe transaction at validation time
+     would trip over a stale extension pointer if commit were torn. *)
+  sweep_scenario ~name:"tx overflow"
+    ~prepare:(fun _pool heap -> ignore (Alloc.alloc ~zero:true heap ~bytes:2048))
+    (fun pool heap ->
+      let a = (Pool.layout pool).Layout.heap_off in
+      Tx.run ~heap pool (fun tx ->
+          for i = 0 to 255 do
+            Tx.add_and_store_i64 tx ~off:(a + (i * 8)) 7L
+          done))
+    (fun ~at pool heap ->
+      match
+        Tx.run ~heap pool (fun tx -> Tx.add_and_store_i64 tx ~off:(Pool.size pool - 64) 1L)
+      with
+      | () -> ()
+      | exception Pool.Corrupted msg -> Alcotest.failf "probe tx failed at op %d: %s" at msg)
+
+let test_seeded_bug_tx_overflow_commit () =
+  (* With the seeded PMDK-1.12 bug enabled, some crash point during a large
+     commit must leave a stale extension pointer that makes the next large
+     transaction raise — the bug Mumak found (section 6.4). *)
+  Bugreg.with_enabled [ "pmdk112_tx_overflow_commit" ] (fun () ->
+      let setup dev =
+        let pool = Pool.create ~version:Version.V1_12 dev in
+        let heap = Alloc.attach pool in
+        ignore (Alloc.alloc ~zero:true heap ~bytes:2048);
+        (pool, heap)
+      in
+      let run (pool, heap) =
+        let a = (Pool.layout pool).Layout.heap_off in
+        Tx.run ~heap pool (fun tx ->
+            for i = 0 to 255 do
+              Tx.add_and_store_i64 tx ~off:(a + (i * 8)) 7L
+            done)
+      in
+      let total = Testutil.Crash.ops_in ~size:pool_size ~setup run in
+      let exposed = ref false in
+      for at = 1 to total do
+        match
+          Testutil.Crash.image_at ~size:pool_size ~policy:Pmem.Device.Program_prefix ~setup
+            ~at run
+        with
+        | None -> ()
+        | Some image -> (
+            match
+              let pool, heap, _ = Recovery.open_pool (Pmem.Device.of_image image) in
+              Tx.run ~heap pool (fun tx ->
+                  Tx.add_and_store_i64 tx ~off:(Pool.size pool - 64) 1L)
+            with
+            | () -> ()
+            | exception Pool.Corrupted _ -> exposed := true)
+      done;
+      Alcotest.(check bool) "bug exposed by some crash point" true !exposed)
+
+(* The pool header protocol itself must be failure-atomic at every single
+   PM instruction: a crash during create reads as Not_initialised (the app
+   re-creates), a crash during a root publish is completed by the redo log,
+   and Corrupted is never raised. This sweep covers the two holes found by
+   dogfooding Mumak at store granularity (DESIGN.md note 3). *)
+let test_sweep_header_protocol () =
+  let scenario dev =
+    let pool = Pool.create ~version:Version.V1_12 dev in
+    let heap = Alloc.attach pool in
+    let a = Alloc.alloc ~zero:true heap ~bytes:64 in
+    Pool.set_root pool ~off:a ~size:64;
+    let b = Alloc.alloc ~zero:true heap ~bytes:64 in
+    Pool.set_root pool ~off:b ~size:64
+  in
+  let total = Testutil.Crash.ops_in ~size:pool_size ~setup:(fun d -> d) scenario in
+  for at = 1 to total do
+    match
+      Testutil.Crash.image_at ~size:pool_size ~policy:Pmem.Device.Program_prefix
+        ~setup:(fun d -> d) ~at scenario
+    with
+    | None -> Alcotest.failf "crash point %d not reached" at
+    | Some image -> (
+        match Recovery.open_pool (Pmem.Device.of_image image) with
+        | _pool, _heap, _report -> ()
+        | exception Pool.Not_initialised -> () (* crash before the commit marker *)
+        | exception Pool.Corrupted msg ->
+            Alcotest.failf "header protocol torn at op %d: %s" at msg)
+  done
+
+let prop_alloc_free_random =
+  QCheck.Test.make ~name:"random alloc/free keeps bitmap consistent" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 600))
+    (fun sizes ->
+      let _dev, pool = fresh () in
+      let heap = Alloc.attach pool in
+      let live = ref [] in
+      List.iteri
+        (fun i bytes ->
+          (match Alloc.alloc heap ~bytes with
+          | addr -> live := addr :: !live
+          | exception Alloc.Out_of_space _ -> ());
+          if i mod 3 = 2 then
+            match !live with
+            | [] -> ()
+            | a :: rest ->
+                Alloc.free heap a;
+                live := rest)
+        sizes;
+      Alloc.check pool = Ok ())
+
+let prop_tx_random_rollback =
+  QCheck.Test.make ~name:"aborted tx restores every snapshotted word" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 127))
+    (fun slots ->
+      let _dev, pool = fresh () in
+      let heap = Alloc.attach pool in
+      let a = Alloc.alloc ~zero:true heap ~bytes:1024 in
+      List.iteri (fun i s -> Pool.persist_i64 pool ~off:(a + (s * 8)) (Int64.of_int i)) slots;
+      let before = List.map (fun s -> Pool.read_i64 pool ~off:(a + (s * 8))) slots in
+      (try
+         Tx.run ~heap pool (fun tx ->
+             List.iter (fun s -> Tx.add_and_store_i64 tx ~off:(a + (s * 8)) 9999L) slots;
+             failwith "abort")
+       with Failure _ -> ());
+      let after = List.map (fun s -> Pool.read_i64 pool ~off:(a + (s * 8))) slots in
+      before = after)
+
+let () =
+  Alcotest.run "pmalloc"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create/attach" `Quick test_create_attach;
+          Alcotest.test_case "header corruption" `Quick test_header_corruption_detected;
+          Alcotest.test_case "root roundtrip" `Quick test_root_roundtrip;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "alloc/free/reuse" `Quick test_alloc_free_reuse;
+          Alcotest.test_case "zeroing by version" `Quick test_alloc_zeroing_by_version;
+          Alcotest.test_case "out of space" `Quick test_alloc_out_of_space;
+          Alcotest.test_case "mirror rebuilt" `Quick test_alloc_mirror_rebuilt_after_crash;
+        ] );
+      ( "redo",
+        [
+          Alcotest.test_case "commit applies" `Quick test_redo_commit_applies;
+          Alcotest.test_case "recover idempotent" `Quick test_redo_recover_is_idempotent;
+        ] );
+      ( "tx",
+        [
+          Alcotest.test_case "commit persists" `Quick test_tx_commit_persists;
+          Alcotest.test_case "abort rolls back" `Quick test_tx_abort_rolls_back;
+          Alcotest.test_case "large overflow" `Quick test_tx_large_overflow;
+          Alcotest.test_case "nested rejected" `Quick test_tx_nested_rejected;
+        ] );
+      ( "crash-sweeps",
+        [
+          Alcotest.test_case "alloc/free sweep" `Slow test_sweep_alloc_free;
+          Alcotest.test_case "tx atomicity sweep" `Slow test_sweep_tx_atomicity;
+          Alcotest.test_case "tx overflow sweep" `Slow test_sweep_tx_overflow_clean_version;
+          Alcotest.test_case "seeded 1.12 bug exposed" `Slow test_seeded_bug_tx_overflow_commit;
+          Alcotest.test_case "header protocol sweep" `Slow test_sweep_header_protocol;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_alloc_free_random; prop_tx_random_rollback ] );
+    ]

@@ -1,0 +1,264 @@
+(* Tests for the persistent data structures: model-based functional
+   correctness against a Hashtbl, crash-sweep recovery on the clean builds
+   (no false positives), and exposure checks for the seeded bugs that fault
+   injection is supposed to catch. *)
+
+open Pmapps
+
+let apps = Registry.apps
+
+(* Run one app instance against a fresh pool. *)
+let with_app (type a) (module A : Kv_intf.S with type t = a) ?(version = Pmalloc.Version.V1_6)
+    (f : Pmem.Device.t -> a -> unit) =
+  let dev = Pmem.Device.create ~size:A.min_pool_size () in
+  let pool = Pmalloc.Pool.create ~version dev in
+  let heap = Pmalloc.Alloc.attach pool in
+  let app = A.create pool heap in
+  f dev app
+
+let apply_op (type a) (module A : Kv_intf.S with type t = a) (app : a) op =
+  match op with
+  | Workload.Put (k, v) -> A.put app ~key:k ~value:v
+  | Workload.Get k -> ignore (A.get app ~key:k)
+  | Workload.Delete k -> ignore (A.delete app ~key:k)
+
+(* --- model-based functional test, one per app --- *)
+
+let functional_test (module A : Kv_intf.S) () =
+  with_app
+    (module A)
+    (fun _dev app ->
+      let model = Hashtbl.create 256 in
+      let ops = Workload.standard ~ops:600 ~key_range:150 ~seed:7L in
+      List.iter
+        (fun op ->
+          (match op with
+          | Workload.Put (k, v) ->
+              A.put app ~key:k ~value:v;
+              Hashtbl.replace model k v
+          | Workload.Get k ->
+              let expected = Hashtbl.find_opt model k in
+              let got = A.get app ~key:k in
+              if got <> expected then
+                Alcotest.failf "%s: get %Ld = %s, expected %s" A.name k
+                  (match got with None -> "None" | Some v -> Int64.to_string v)
+                  (match expected with None -> "None" | Some v -> Int64.to_string v)
+          | Workload.Delete k ->
+              let expected = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              let got = A.delete app ~key:k in
+              if got <> expected then
+                Alcotest.failf "%s: delete %Ld = %b, expected %b" A.name k got expected))
+        ops;
+      (* final read-back of every model key *)
+      Hashtbl.iter
+        (fun k v ->
+          match A.get app ~key:k with
+          | Some v' when Int64.equal v v' -> ()
+          | other ->
+              Alcotest.failf "%s: final get %Ld = %s, expected %Ld" A.name k
+                (match other with None -> "None" | Some x -> Int64.to_string x)
+                v)
+        model;
+      Alcotest.(check int) (A.name ^ ": count") (Hashtbl.length model) (A.count app);
+      match A.check app with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: check failed: %s" A.name e)
+
+(* --- clean crash sweeps: no false positives --- *)
+
+(* Crash the workload at every k-th PM instruction (stride keeps runtime
+   sane) and require the app's own recovery to succeed. *)
+let sweep_test ?version ?(prefill = 40) ?(extra = 25) ?(stride = 7) (module A : Kv_intf.S) ()
+    =
+  let version =
+    match version with
+    | Some v -> v
+    | None -> if String.equal A.name "hashmap_atomic" then Pmalloc.Version.V1_6 else Pmalloc.Version.V1_12
+  in
+  let prefill_ops = Workload.standard ~ops:prefill ~key_range:40 ~seed:11L in
+  let extra_ops = Workload.standard ~ops:extra ~key_range:40 ~seed:13L in
+  let setup dev =
+    let pool = Pmalloc.Pool.create ~version dev in
+    let heap = Pmalloc.Alloc.attach pool in
+    let app = A.create pool heap in
+    List.iter (apply_op (module A) app) prefill_ops;
+    app
+  in
+  let scenario app = List.iter (apply_op (module A) app) extra_ops in
+  let total = Testutil.Crash.ops_in ~size:A.min_pool_size ~setup scenario in
+  Alcotest.(check bool) (A.name ^ ": scenario produces PM ops") true (total > 50);
+  let at = ref 1 in
+  while !at <= total do
+    (match
+       Testutil.Crash.image_at ~size:A.min_pool_size ~policy:Pmem.Device.Program_prefix
+         ~setup ~at:!at scenario
+     with
+    | None -> ()
+    | Some image -> (
+        match A.recover (Pmem.Device.of_image image) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: false positive at op %d: %s" A.name !at e
+        | exception e ->
+            Alcotest.failf "%s: recovery crashed at op %d: %s" A.name !at
+              (Printexc.to_string e)));
+    at := !at + stride
+  done
+
+(* --- seeded-bug exposure: fault injection must be able to catch these --- *)
+
+let exposure_test (module A : Kv_intf.S) ~bug ?version ?(prefill = 30) ?(extra = 30)
+    ?(key_range = 30) () =
+  let version =
+    match version with
+    | Some v -> v
+    | None -> if String.equal A.name "hashmap_atomic" then Pmalloc.Version.V1_6 else Pmalloc.Version.V1_12
+  in
+  Bugreg.with_enabled [ bug ] (fun () ->
+      let prefill_ops = Workload.standard ~ops:prefill ~key_range ~seed:19L in
+      let extra_ops = Workload.standard ~ops:extra ~key_range ~seed:23L in
+      let setup dev =
+        let pool = Pmalloc.Pool.create ~version dev in
+        let heap = Pmalloc.Alloc.attach pool in
+        let app = A.create pool heap in
+        List.iter (apply_op (module A) app) prefill_ops;
+        app
+      in
+      let scenario app = List.iter (apply_op (module A) app) extra_ops in
+      let total = Testutil.Crash.ops_in ~size:A.min_pool_size ~setup scenario in
+      let exposed = ref false in
+      let at = ref 1 in
+      while (not !exposed) && !at <= total do
+        (match
+           Testutil.Crash.image_at ~size:A.min_pool_size ~policy:Pmem.Device.Program_prefix
+             ~setup ~at:!at scenario
+         with
+        | None -> ()
+        | Some image -> (
+            match A.recover (Pmem.Device.of_image image) with
+            | Ok () -> ()
+            | Error _ | (exception _) -> exposed := true));
+        incr at
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s exposed by some crash point" A.name bug)
+        true !exposed)
+
+(* --- level-hash recovery story (paper 6.2) --- *)
+
+let test_level_hash_recovery_story () =
+  (* with the stock (no-op) recovery the token bug goes unnoticed; the
+     enhanced recovery catches it *)
+  let run_with enhanced =
+    Level_hash.use_enhanced_recovery := enhanced;
+    Fun.protect
+      ~finally:(fun () -> Level_hash.use_enhanced_recovery := false)
+      (fun () ->
+        Bugreg.with_enabled [ "level_hash_token_before_kv" ] (fun () ->
+            let setup dev =
+              let pool = Pmalloc.Pool.create ~version:Pmalloc.Version.V1_12 dev in
+              let heap = Pmalloc.Alloc.attach pool in
+              Level_hash.create pool heap
+            in
+            let ops = Workload.standard ~ops:40 ~key_range:30 ~seed:3L in
+            let scenario app = List.iter (apply_op (module Level_hash) app) ops in
+            let total = Testutil.Crash.ops_in ~size:Level_hash.min_pool_size ~setup scenario in
+            let exposed = ref false in
+            for at = 1 to total do
+              match
+                Testutil.Crash.image_at ~size:Level_hash.min_pool_size
+                  ~policy:Pmem.Device.Program_prefix ~setup ~at scenario
+              with
+              | None -> ()
+              | Some image -> (
+                  match Level_hash.recover (Pmem.Device.of_image image) with
+                  | Ok () -> ()
+                  | Error _ | (exception _) -> exposed := true)
+            done;
+            !exposed))
+  in
+  Alcotest.(check bool) "stock recovery is blind" false (run_with false);
+  Alcotest.(check bool) "enhanced recovery detects" true (run_with true)
+
+(* --- btree-specific structure tests --- *)
+
+let test_btree_splits_deep () =
+  with_app
+    (module Btree)
+    (fun _dev app ->
+      for i = 1 to 500 do
+        Btree.put app ~key:(Int64.of_int i) ~value:(Int64.of_int (i * 2))
+      done;
+      Alcotest.(check int) "count" 500 (Btree.count app);
+      Alcotest.(check (result unit string)) "check" (Ok ()) (Btree.check app);
+      for i = 1 to 500 do
+        match Btree.get app ~key:(Int64.of_int i) with
+        | Some v when Int64.equal v (Int64.of_int (i * 2)) -> ()
+        | _ -> Alcotest.failf "missing key %d after splits" i
+      done)
+
+let test_rbtree_balance () =
+  with_app
+    (module Rbtree)
+    (fun _dev app ->
+      (* ascending insertion is the classic worst case for unbalanced trees *)
+      for i = 1 to 300 do
+        Rbtree.put app ~key:(Int64.of_int i) ~value:(Int64.of_int i)
+      done;
+      Alcotest.(check (result unit string)) "red-black invariants" (Ok ())
+        (Rbtree.check app))
+
+let test_hashmap_atomic_needs_v16 () =
+  (* under 1.12 the bucket array is not zeroed: the structure misbehaves —
+     reproducing the "Hashmap Atomic does not operate correctly" note *)
+  let dev = Pmem.Device.create ~size:Hashmap_atomic.min_pool_size () in
+  let pool = Pmalloc.Pool.create ~version:Pmalloc.Version.V1_12 dev in
+  let heap = Pmalloc.Alloc.attach pool in
+  let app = Hashmap_atomic.create pool heap in
+  let broken =
+    match Hashmap_atomic.get app ~key:1L with
+    | exception _ -> true
+    | _ -> ( match Hashmap_atomic.check app with Error _ -> true | Ok () -> false)
+  in
+  Alcotest.(check bool) "poisoned buckets break the structure" true broken
+
+let app_cases make =
+  List.map
+    (fun (module A : Kv_intf.S) -> Alcotest.test_case A.name `Slow (make (module A : Kv_intf.S)))
+    apps
+
+let () =
+  Alcotest.run "pmapps"
+    [
+      ("functional", app_cases (fun a -> functional_test a));
+      ("crash-sweeps", app_cases (fun a -> sweep_test a));
+      ( "seeded-bug-exposure",
+        [
+          Alcotest.test_case "btree_insert_no_tx" `Slow
+            (exposure_test (module Btree) ~bug:"btree_insert_no_tx");
+          Alcotest.test_case "btree_count_outside_tx" `Slow
+            (exposure_test (module Btree) ~bug:"btree_count_outside_tx");
+          Alcotest.test_case "rbtree_fixup_no_snapshot" `Slow
+            (exposure_test (module Rbtree) ~bug:"rbtree_fixup_no_snapshot");
+          Alcotest.test_case "hm_tx_head_no_snapshot" `Slow
+            (exposure_test (module Hashmap_tx) ~bug:"hm_tx_head_no_snapshot");
+          Alcotest.test_case "wort_link_uninitialized_node" `Slow
+            (exposure_test (module Wort) ~bug:"wort_link_uninitialized_node"
+               ~version:Pmalloc.Version.V1_12 ~prefill:0 ~extra:40);
+          Alcotest.test_case "cceh_split_dir_no_log" `Slow
+            (exposure_test (module Cceh) ~bug:"cceh_split_dir_no_log" ~prefill:0 ~extra:90);
+          Alcotest.test_case "art_count_before_child" `Slow
+            (exposure_test (module Art) ~bug:"art_count_before_child"
+               ~version:Pmalloc.Version.V1_12 ~prefill:0 ~extra:120 ~key_range:600);
+          Alcotest.test_case "ff_link_before_copy" `Slow
+            (exposure_test (module Fast_fair) ~bug:"ff_link_before_copy"
+               ~version:Pmalloc.Version.V1_12 ~prefill:0 ~extra:200 ~key_range:150);
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "btree deep splits" `Quick test_btree_splits_deep;
+          Alcotest.test_case "rbtree balance" `Quick test_rbtree_balance;
+          Alcotest.test_case "hashmap_atomic needs 1.6" `Quick test_hashmap_atomic_needs_v16;
+          Alcotest.test_case "level_hash recovery story" `Slow test_level_hash_recovery_story;
+        ] );
+    ]

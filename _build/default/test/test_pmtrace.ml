@@ -1,0 +1,107 @@
+(* Tests for the instrumentation layer: call stacks, tracing, stack
+   resolution. *)
+
+open Pmtrace
+
+let run_scenario tracer =
+  let d = Tracer.device tracer in
+  Tracer.with_frame tracer "main" (fun () ->
+      Tracer.with_frame tracer "insert" (fun () ->
+          Pmem.Device.store_i64 d ~addr:0 1L;
+          Pmem.Device.clwb d ~addr:0;
+          Pmem.Device.sfence d);
+      Tracer.with_frame tracer "insert" (fun () ->
+          Pmem.Device.store_i64 d ~addr:64 2L;
+          Pmem.Device.clwb d ~addr:64;
+          Pmem.Device.sfence d))
+
+let test_trace_collection () =
+  let d = Pmem.Device.create ~size:4096 () in
+  let tracer = Tracer.create d in
+  run_scenario tracer;
+  Alcotest.(check int) "6 events" 6 (Trace.length (Tracer.trace tracer));
+  let seqs = List.map (fun e -> e.Event.seq) (Trace.to_list (Tracer.trace tracer)) in
+  Alcotest.(check (list int)) "monotonic seq" [ 1; 2; 3; 4; 5; 6 ] seqs
+
+let test_stack_capture () =
+  let d = Pmem.Device.create ~size:4096 () in
+  let tracer = Tracer.create ~with_stacks:true d in
+  run_scenario tracer;
+  let events = Trace.to_list (Tracer.trace tracer) in
+  let stack_of n =
+    match (List.nth events n).Event.stack with
+    | Some c -> c
+    | None -> Alcotest.fail "missing stack"
+  in
+  Alcotest.(check (list string)) "path" [ "_start"; "main"; "insert" ] (stack_of 0).Callstack.path;
+  (* within one frame activation the op index advances per PM instruction *)
+  Alcotest.(check int) "eventwise index 1" 1 (stack_of 0).Callstack.op_index;
+  Alcotest.(check int) "eventwise index 3" 3 (stack_of 2).Callstack.op_index;
+  (* the second activation of "insert" restarts its counter, so the same
+     code point gets the same identity *)
+  Alcotest.(check bool) "same identity across activations" true
+    (Callstack.capture_equal (stack_of 0) (stack_of 3))
+
+let test_frames_pop_on_exception () =
+  let cs = Callstack.create () in
+  (try Callstack.with_frame cs "f" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "stack empty after raise" 0 (Callstack.depth cs)
+
+let test_listener_and_collect_flag () =
+  let d = Pmem.Device.create ~size:4096 () in
+  let tracer = Tracer.create ~collect:false d in
+  let n = ref 0 in
+  Tracer.add_listener tracer (fun _ _ -> incr n);
+  run_scenario tracer;
+  Alcotest.(check int) "listener saw all" 6 !n;
+  Alcotest.(check int) "no collection" 0 (Trace.length (Tracer.trace tracer))
+
+let test_resolve_stacks () =
+  let d = Pmem.Device.create ~size:4096 () in
+  let tracer = Tracer.create d in
+  run_scenario tracer;
+  (* events were collected without stacks; resolve #2 and #5 by re-running *)
+  let resolved =
+    Tracer.resolve_stacks tracer ~wanted:[ 2; 5 ] ~run:(fun () -> run_scenario tracer)
+  in
+  Alcotest.(check int) "two resolved" 2 (Hashtbl.length resolved);
+  let c2 = Hashtbl.find resolved 2 in
+  Alcotest.(check (list string)) "resolved path" [ "_start"; "main"; "insert" ] c2.Callstack.path;
+  Alcotest.(check int) "resolved index" 2 c2.Callstack.op_index
+
+let test_trace_fold_order () =
+  let t = Trace.create () in
+  List.iter
+    (fun seq -> Trace.add t { Event.seq; op = Pmem.Op.Store { addr = 0; size = 8; nt = false }; stack = None })
+    [ 1; 2; 3 ];
+  let seqs = Trace.fold t [] (fun acc e -> e.Event.seq :: acc) in
+  Alcotest.(check (list int)) "fold in execution order" [ 3; 2; 1 ] seqs
+
+let prop_capture_identity =
+  QCheck.Test.make ~name:"capture equality is structural" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 0 6) (string_of_size (Gen.return 3))) small_nat)
+    (fun (labels, k) ->
+      let cs = Callstack.create () in
+      List.iter (fun l -> Callstack.push cs l) labels;
+      for _ = 1 to k do
+        Callstack.tick cs
+      done;
+      let a = Callstack.capture cs and b = Callstack.capture cs in
+      Callstack.capture_equal a b
+      && Callstack.capture_compare a b = 0
+      && Callstack.capture_hash a = Callstack.capture_hash b)
+
+let () =
+  Alcotest.run "pmtrace"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "collection" `Quick test_trace_collection;
+          Alcotest.test_case "stack capture" `Quick test_stack_capture;
+          Alcotest.test_case "frames pop on exception" `Quick test_frames_pop_on_exception;
+          Alcotest.test_case "listener / collect flag" `Quick test_listener_and_collect_flag;
+          Alcotest.test_case "resolve stacks" `Quick test_resolve_stacks;
+          Alcotest.test_case "fold order" `Quick test_trace_fold_order;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_capture_identity ]);
+    ]

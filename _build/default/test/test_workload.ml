@@ -1,0 +1,81 @@
+(* Tests for the workload generator: determinism, key-domain guarantees,
+   operation-mix proportions and distribution shape. *)
+
+let test_deterministic () =
+  let a = Workload.standard ~ops:500 ~key_range:100 ~seed:5L in
+  let b = Workload.standard ~ops:500 ~key_range:100 ~seed:5L in
+  Alcotest.(check bool) "same seed, same workload" true (a = b);
+  let c = Workload.standard ~ops:500 ~key_range:100 ~seed:6L in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let key_of = function Workload.Put (k, _) | Workload.Get k | Workload.Delete k -> k
+
+let test_keys_positive_and_bounded () =
+  let ops = Workload.standard ~ops:2000 ~key_range:50 ~seed:1L in
+  Alcotest.(check bool) "keys in [1, range]" true
+    (List.for_all
+       (fun op ->
+         let k = key_of op in
+         Int64.compare k 1L >= 0 && Int64.compare k 50L <= 0)
+       ops)
+
+let test_mix_roughly_equal () =
+  let ops = Workload.standard ~ops:3000 ~key_range:100 ~seed:2L in
+  let count p = List.length (List.filter p ops) in
+  let puts = count (function Workload.Put _ -> true | _ -> false) in
+  let gets = count (function Workload.Get _ -> true | _ -> false) in
+  let dels = count (function Workload.Delete _ -> true | _ -> false) in
+  Alcotest.(check int) "total" 3000 (puts + gets + dels);
+  List.iter
+    (fun (label, n) ->
+      if n < 800 || n > 1200 then Alcotest.failf "%s fraction off: %d/3000" label n)
+    [ ("puts", puts); ("gets", gets); ("deletes", dels) ]
+
+let test_zipfian_skew () =
+  let spec =
+    { Workload.default_spec with Workload.ops = 5000; key_range = 100;
+      dist = Workload.Zipfian 4.0; seed = 9L }
+  in
+  let ops = Workload.generate spec in
+  (* under a zipfian draw, the single hottest key takes a large share *)
+  let freq = Hashtbl.create 128 in
+  List.iter
+    (fun op ->
+      let k = key_of op in
+      Hashtbl.replace freq k (1 + Option.value ~default:0 (Hashtbl.find_opt freq k)))
+    ops;
+  let hottest = Hashtbl.fold (fun _ n acc -> max n acc) freq 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest key dominates (%d/5000)" hottest)
+    true (hottest > 1000)
+
+let test_custom_fractions () =
+  let spec =
+    { Workload.default_spec with Workload.ops = 1000; put_fraction = 1.0;
+      get_fraction = 0. }
+  in
+  let ops = Workload.generate spec in
+  Alcotest.(check bool) "all puts" true
+    (List.for_all (function Workload.Put _ -> true | _ -> false) ops)
+
+let prop_count_puts =
+  QCheck.Test.make ~name:"count_puts agrees with a manual count" ~count:100
+    QCheck.(pair small_nat (int_range 1 50))
+    (fun (ops, key_range) ->
+      let w = Workload.standard ~ops ~key_range ~seed:3L in
+      Workload.count_puts w
+      = List.length (List.filter (function Workload.Put _ -> true | _ -> false) w))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "key domain" `Quick test_keys_positive_and_bounded;
+          Alcotest.test_case "equal mix" `Quick test_mix_roughly_equal;
+          Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+          Alcotest.test_case "custom fractions" `Quick test_custom_fractions;
+          QCheck_alcotest.to_alcotest prop_count_puts;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+test/util/crash.ml: Alcotest Fmt Fun Int64 Pmem String

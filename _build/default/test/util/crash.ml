@@ -1,0 +1,72 @@
+(** Test helpers for crash-injection sweeps: run a scenario, kill it at the
+    n-th PM instruction, and hand the resulting crash image to a recovery
+    check. [setup] runs before injection is armed (pool formatting is not a
+    crash target, matching the paper where faults are injected while the
+    workload runs).
+
+    The crash image is captured {e inside} the hook, at the moment the kill
+    fires, and the kill is sticky: every later PM instruction also raises,
+    so unwinding code (transaction aborts, finalisers) cannot mutate the
+    post-crash state. *)
+
+exception Killed
+
+(** [image_at ~size ~policy ~setup ~at scenario] creates a device, runs
+    [setup] uninstrumented, then runs [scenario (setup result)] and crashes
+    it at PM instruction number [at] (1-based). Returns [Some image] if the
+    crash fired, [None] if the scenario finished in fewer instructions. *)
+let image_at ~size ~policy ~setup ~at scenario =
+  let dev = Pmem.Device.create ~size () in
+  let ctx = setup dev in
+  let count = ref 0 in
+  let captured = ref None in
+  Pmem.Device.set_hook dev
+    (Some
+       (fun _op ->
+         incr count;
+         if !count >= at then begin
+           if !captured = None then captured := Some (Pmem.Device.crash dev ~policy);
+           raise Killed
+         end));
+  let finish () = Pmem.Device.set_hook dev None in
+  match scenario ctx with
+  | () ->
+      finish ();
+      !captured
+  | exception Killed ->
+      finish ();
+      !captured
+  | exception Fun.Finally_raised Killed ->
+      finish ();
+      !captured
+
+(** [ops_in ~size ~setup scenario] counts the PM instructions a full
+    scenario run executes (setup excluded). *)
+let ops_in ~size ~setup scenario =
+  let dev = Pmem.Device.create ~size () in
+  let ctx = setup dev in
+  let count = ref 0 in
+  Pmem.Device.set_hook dev (Some (fun _ -> incr count));
+  scenario ctx;
+  Pmem.Device.set_hook dev None;
+  !count
+
+(** [sweep ~size ~policy ~setup scenario ~check] crashes [scenario] at every
+    PM instruction in turn and calls [check ~at image] on each crash image.
+    Returns the number of crash points exercised. *)
+let sweep ~size ~policy ~setup scenario ~check =
+  let total = ops_in ~size ~setup scenario in
+  for at = 1 to total do
+    match image_at ~size ~policy ~setup ~at scenario with
+    | Some image -> check ~at image
+    | None -> Alcotest.failf "sweep: crash point %d not reached (total %d)" at total
+  done;
+  total
+
+let i64 = Alcotest.testable (fun ppf v -> Fmt.pf ppf "%Ld" v) Int64.equal
+
+(** Substring containment, used by report-content assertions. *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
