@@ -25,7 +25,7 @@ let build_target ~name ~version ~grouped ~workload =
         (Pmapps.Registry.find app)
 
 let run name ops key_range seed version_str grouped strategy_str bugs no_warnings
-    store_level =
+    store_level jobs =
   let version =
     match version_str with
     | "1.6" -> Pmalloc.Version.V1_6
@@ -54,6 +54,7 @@ let run name ops key_range seed version_str grouped strategy_str bugs no_warning
           granularity =
             (if store_level then Mumak.Config.Store_level
              else Mumak.Config.Persistency_instruction);
+          jobs = max 1 jobs;
         }
       in
       let result = Mumak.Engine.analyze ~config target in
@@ -79,6 +80,13 @@ let bugs_arg =
 let no_warnings_arg = Arg.(value & flag & info [ "no-warnings" ] ~doc:"Suppress warnings.")
 let store_level_arg =
   Arg.(value & flag & info [ "store-level" ] ~doc:"Inject at every store (ablation).")
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the re-execute injection loop (1 = sequential). \
+           Reports are identical for any N; only used with --strategy reexecute.")
 
 let analyze_cmd =
   let doc = "Detect crash-consistency and performance bugs in a PM application." in
@@ -86,7 +94,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
-      $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg)
+      $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg
+      $ jobs_arg)
 
 let list_cmd =
   let doc = "List available targets and seeded bugs." in

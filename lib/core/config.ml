@@ -30,6 +30,14 @@ type t = {
           unchanged — atomicity/ordering bugs survive eADR — but the trace
           analysis stops reporting unflushed stores as durability bugs *)
   max_failure_points : int option;  (** cap for very large targets *)
+  jobs : int;
+      (** worker domains for the [Reexecute] injection loop. Each fault
+          injection is an independent re-execution against its own crash
+          image, so the loop is embarrassingly parallel; [jobs > 1]
+          partitions the failure-point leaves round-robin over that many
+          domains and merges the records deterministically (sorted by
+          discovery ordinal). [1] (the default) is the sequential loop;
+          the [Snapshot] strategy ignores this field (single execution). *)
 }
 
 let default =
@@ -41,8 +49,13 @@ let default =
     detect_dirty_overwrites = false;
     eadr = false;
     max_failure_points = None;
+    jobs = 1;
   }
 
 (** The configuration the benchmarks use to mirror the original system's
     cost model. *)
 let faithful = { default with strategy = Reexecute }
+
+(** [faithful] with the injection loop spread over [jobs] worker domains —
+    the paper's parallel deployment of the re-execution strategy. *)
+let parallel jobs = { faithful with jobs = max 1 jobs }

@@ -12,6 +12,9 @@ type result = {
   metrics : Metrics.t;
   fi_metrics : Metrics.t;
   ta_metrics : Metrics.t;
+  worker_metrics : Metrics.t list;
+      (** per-domain breakdown of the parallel injection phase; empty when
+          the injection ran sequentially *)
 }
 
 (* Re-run the target once with minimal instrumentation to attach call
@@ -53,17 +56,22 @@ let analyze ?(config = Config.default) (target : Target.t) =
   let ta = Trace_analysis.create config in
   let ta_feed event _stack = Trace_analysis.feed ta event in
   (* Phase 1+2: instrumented execution(s), failure-point tree, injection. *)
-  let (fi_result, pm_stats), fi_metrics =
+  let (fi_result, pm_stats), fi_phase =
     Metrics.measure (fun () ->
         match config.Config.strategy with
         | Config.Snapshot ->
-            let r = Fault_injection.inject_snapshot ~extra_listener:ta_feed config target in
             (* the snapshot strategy's single execution also produced the
-               trace; reuse its device stats via a cheap re-derivation *)
-            (r, Pmem.Stats.create ())
+               trace; its device counters are the real store/flush/fence
+               totals of the instrumented run *)
+            Fault_injection.inject_snapshot ~extra_listener:ta_feed config target
         | Config.Reexecute ->
             let tree, stats = Fault_injection.build_tree ~extra_listener:ta_feed config target in
             (Fault_injection.inject_reexecute config target tree, stats))
+  in
+  (* GC counters are domain-local: fold what the injection workers
+     allocated into the phase total measured on this domain. *)
+  let fi_metrics =
+    Metrics.absorb_workers fi_phase fi_result.Fault_injection.worker_metrics
   in
   (* Phase 3: close the streaming trace analysis. *)
   let raw_findings, ta_metrics = Metrics.measure (fun () -> Trace_analysis.finish ta) in
@@ -102,9 +110,14 @@ let analyze ?(config = Config.default) (target : Target.t) =
     metrics = Metrics.add fi_metrics ta_metrics;
     fi_metrics;
     ta_metrics;
+    worker_metrics = fi_result.Fault_injection.worker_metrics;
   }
 
 let pp_result ppf r =
   Fmt.pf ppf "%a@.failure points: %d, injections: %d, executions: %d, trace events: %d@.%a@."
     Report.pp r.report r.failure_points r.injections r.executions r.trace_events Metrics.pp
-    r.metrics
+    r.metrics;
+  match r.worker_metrics with
+  | [] -> ()
+  | workers ->
+      List.iteri (fun i m -> Fmt.pf ppf "  worker %d: %a@." i Metrics.pp m) workers

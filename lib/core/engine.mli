@@ -9,9 +9,15 @@ type result = {
   executions : int;  (** instrumented workload executions performed *)
   trace_events : int;  (** PM instructions observed *)
   pm_stats : Pmem.Stats.t;
+      (** device counters of the first instrumented execution (real
+          store/flush/fence totals, under either strategy) *)
   metrics : Metrics.t;  (** total resource usage *)
-  fi_metrics : Metrics.t;  (** fault-injection phase *)
+  fi_metrics : Metrics.t;
+      (** fault-injection phase, including worker-domain allocations *)
   ta_metrics : Metrics.t;  (** trace-analysis phase *)
+  worker_metrics : Metrics.t list;
+      (** per-domain breakdown of the parallel injection phase
+          ([Config.jobs] entries); empty when injection ran sequentially *)
 }
 
 val resolve_stacks :

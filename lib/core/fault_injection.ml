@@ -17,8 +17,11 @@ type record = {
 
 type result = {
   tree : Fp_tree.t;
-  records : record list;
+  records : record list; (* sorted by failure-point ordinal *)
   executions : int; (* workload executions performed *)
+  worker_metrics : Metrics.t list;
+      (* per-worker-domain resource usage of the parallel injection phase;
+         empty for the sequential loop and the snapshot strategy *)
 }
 
 exception Crash_now
@@ -99,10 +102,9 @@ let reexecute_once config (target : Target.t) tree =
   Pmtrace.Tracer.detach tracer;
   !injected
 
-(** The paper's injection loop: re-execute the workload until every leaf of
-    the tree is visited, injecting one fault per execution (steps 6-9 of
-    Figure 1, [Config.Reexecute]). *)
-let inject_reexecute config (target : Target.t) tree =
+(* Drive the injection loop over [tree] until every leaf is visited or an
+   execution makes no progress. Returns records in execution order. *)
+let reexecute_loop config (target : Target.t) tree =
   let records = ref [] and executions = ref 0 in
   let continue_ = ref true in
   while !continue_ && Fp_tree.unvisited_count tree > 0 do
@@ -113,11 +115,71 @@ let inject_reexecute config (target : Target.t) tree =
         let oracle = Oracle.classify target.Target.recover (Pmem.Device.of_image ~eadr:config.Config.eadr image) in
         records := { point; oracle } :: !records
   done;
-  { tree; records = List.rev !records; executions = !executions }
+  (List.rev !records, !executions)
+
+(* The deterministic-merge rule: reports are ordered by failure-point
+   discovery ordinal, so the result is identical regardless of how the
+   leaves were scheduled over workers. *)
+let sort_records =
+  List.sort (fun a b -> compare a.point.Fp_tree.ordinal b.point.Fp_tree.ordinal)
+
+(* Each worker owns a private copy of the tree (rebuilt from the serialized
+   form, which preserves ordinals) with every leaf outside its round-robin
+   share pre-marked visited, so the standard loop only injects its own
+   assignment. Workers share no mutable state: each execution creates its
+   own device and tracer, and the ambient framer/transaction state is
+   domain-local. *)
+let inject_parallel config (target : Target.t) tree ~jobs =
+  let serialized = Fp_tree.serialize tree in
+  let worker w () =
+    Metrics.measure (fun () ->
+        let local = Fp_tree.deserialize serialized in
+        Fp_tree.iter local (fun p ->
+            if p.Fp_tree.ordinal mod jobs <> w then p.Fp_tree.visited <- true);
+        reexecute_loop config target local)
+  in
+  let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
+  let results = List.map Domain.join domains in
+  let worker_metrics = List.map snd results in
+  (* Re-anchor worker records on the master tree's points (the worker trees
+     are projections of it) and mark the master leaves visited. *)
+  let records =
+    List.concat_map
+      (fun ((recs, _), _) ->
+        List.map
+          (fun r ->
+            match Fp_tree.find tree r.point.Fp_tree.capture with
+            | Some master ->
+                master.Fp_tree.visited <- true;
+                { r with point = master }
+            | None -> assert false)
+          recs)
+      results
+  in
+  let executions = List.fold_left (fun acc ((_, e), _) -> acc + e) 0 results in
+  { tree; records = sort_records records; executions; worker_metrics }
+
+(** The paper's injection loop: re-execute the workload until every leaf of
+    the tree is visited, injecting one fault per execution (steps 6-9 of
+    Figure 1, [Config.Reexecute]). With [Config.jobs > 1] the loop runs on
+    that many worker domains — each fault injection is an independent
+    re-execution, so the leaves are partitioned round-robin by ordinal and
+    the per-worker records merged back in ordinal order, making the result
+    byte-for-byte identical to the sequential schedule. *)
+let inject_reexecute config (target : Target.t) tree =
+  (* never spawn more domains than there are leaves to inject *)
+  let jobs = max 1 (min config.Config.jobs (max 1 (Fp_tree.size tree))) in
+  if jobs = 1 then begin
+    let records, executions = reexecute_loop config target tree in
+    { tree; records = sort_records records; executions; worker_metrics = [] }
+  end
+  else inject_parallel config target tree ~jobs
 
 (** Simulator-only optimisation ([Config.Snapshot]): a single execution in
     which each new failure point immediately snapshots its crash image and
-    runs recovery on a copy. Detects exactly the same bugs. *)
+    runs recovery on a copy. Detects exactly the same bugs. Also returns
+    the device counters of that execution — the real store/flush/fence
+    totals of the instrumented run. *)
 let inject_snapshot ?(extra_listener = fun _ _ -> ()) config (target : Target.t) =
   let tree = Fp_tree.create () in
   let records = ref [] in
@@ -141,6 +203,7 @@ let inject_snapshot ?(extra_listener = fun _ _ -> ()) config (target : Target.t)
       detect event stack);
   target.Target.run ~device ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer));
   Pmtrace.Tracer.detach tracer;
-  { tree; records = List.rev !records; executions = 1 }
+  ( { tree; records = sort_records (List.rev !records); executions = 1; worker_metrics = [] },
+    Pmem.Device.stats device )
 
 let bug_records result = List.filter (fun r -> Oracle.is_bug r.oracle) result.records

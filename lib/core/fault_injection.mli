@@ -14,7 +14,14 @@ type record = { point : Fp_tree.point; oracle : Oracle.outcome }
 type result = {
   tree : Fp_tree.t;
   records : record list;
+      (** always sorted by failure-point discovery ordinal — the
+          deterministic-merge rule that makes reports identical no matter
+          how injections were scheduled over worker domains *)
   executions : int;  (** workload executions performed *)
+  worker_metrics : Metrics.t list;
+      (** per-worker-domain resource usage of the parallel injection phase
+          ([Config.jobs] entries); empty for the sequential loop and the
+          snapshot strategy *)
 }
 
 exception Crash_now
@@ -41,15 +48,21 @@ val build_tree :
 
 val inject_reexecute : Config.t -> Target.t -> Fp_tree.t -> result
 (** The paper's injection loop: re-execute the workload until every leaf is
-    visited, one fault per execution (steps 6–9 of Figure 1). *)
+    visited, one fault per execution (steps 6–9 of Figure 1). With
+    [Config.jobs > 1] the leaves are partitioned round-robin by ordinal
+    over that many worker domains, each re-executing against its own
+    private device/tracer/tree, and the records merged back in ordinal
+    order — byte-for-byte the sequential result (asserted by the
+    differential tests). *)
 
 val inject_snapshot :
   ?extra_listener:(Pmtrace.Event.t -> Pmtrace.Callstack.t -> unit) ->
   Config.t ->
   Target.t ->
-  result
+  result * Pmem.Stats.t
 (** Simulator-only optimisation: a single execution in which each new
     failure point immediately snapshots its crash image and recovers on a
-    copy. Detects exactly the same bugs (asserted by tests). *)
+    copy. Detects exactly the same bugs (asserted by tests). The second
+    component is the device counters of the instrumented execution. *)
 
 val bug_records : result -> record list

@@ -42,6 +42,21 @@ let add a b =
     heap_growth_words = a.heap_growth_words + b.heap_growth_words;
   }
 
+let sum = List.fold_left add zero
+
+(** [absorb_workers phase workers] folds the allocation counters measured
+    inside worker domains into a phase measurement taken on the spawning
+    domain. GC counters are domain-local in OCaml 5, so the enclosing
+    {!measure} cannot see worker allocations; wall-clock and CPU time are
+    process-wide and already accounted for by the enclosing measurement. *)
+let absorb_workers phase workers =
+  let w = sum workers in
+  {
+    phase with
+    allocated_bytes = phase.allocated_bytes +. w.allocated_bytes;
+    heap_growth_words = phase.heap_growth_words + w.heap_growth_words;
+  }
+
 let pp ppf t =
   Fmt.pf ppf "wall=%.3fs cpu=%.3fs load=%.2f alloc=%.1fMB heap+=%.1fMB" t.wall_seconds
     t.cpu_seconds (cpu_load t)

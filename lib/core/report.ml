@@ -80,6 +80,16 @@ let performance_bugs t = List.filter (fun f -> not (kind_is_correctness f.kind))
 
 let merge ~into src = List.iter (fun f -> ignore (add into f)) (findings src)
 
+(** Canonical content signature: the sorted dedup key of every finding,
+    each rendered with its full detail text. Two reports with equal
+    signatures contain byte-for-byte the same unique findings — the
+    equality the differential tests assert across injection strategies and
+    worker counts. *)
+let signature t =
+  List.map (fun f -> finding_key f ^ "|" ^ f.detail) (findings t) |> List.sort compare
+
+let equal a b = List.equal String.equal (signature a) (signature b)
+
 let pp_finding ppf f =
   Fmt.pf ppf "[%s] %s: %s%s"
     (match f.phase with Fault_injection -> "FI" | Trace_analysis -> "TA")

@@ -42,5 +42,14 @@ val performance_bugs : t -> finding list
 
 val merge : into:t -> t -> unit
 
+val signature : t -> string list
+(** Canonical content signature: the sorted dedup key + detail of every
+    finding. Reports with equal signatures contain byte-for-byte the same
+    unique findings — the equality the differential tests assert across
+    injection strategies and worker counts. *)
+
+val equal : t -> t -> bool
+(** [equal a b] iff the two reports have identical signatures. *)
+
 val pp_finding : Format.formatter -> finding -> unit
 val pp : Format.formatter -> t -> unit

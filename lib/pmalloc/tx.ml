@@ -229,13 +229,15 @@ let abort t =
 
 (* Ambient open transactions, keyed by physical pool identity: nested
    [run]s flatten into the enclosing transaction, like libpmemobj's nested
-   TX_BEGIN. *)
-let ambient : (Obj.t * t) list ref = ref []
+   TX_BEGIN. Domain-local so that parallel injection workers, each
+   re-executing the workload on its own pool, cannot observe (or corrupt)
+   each other's open transactions. *)
+let ambient : (Obj.t * t) list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let find_ambient pool =
   List.find_map
     (fun (key, t) -> if key == Obj.repr pool then Some t else None)
-    !ambient
+    (Domain.DLS.get ambient)
 
 (** [run ?heap pool f] runs [f] inside a transaction, committing on normal
     return and aborting (rolling back) if [f] raises. A [run] nested inside
@@ -246,8 +248,11 @@ let run ?heap pool f =
   | None -> (
       let t = begin_ ?heap pool in
       let key = Obj.repr pool in
-      ambient := (key, t) :: !ambient;
-      let remove () = ambient := List.filter (fun (k, _) -> k != key) !ambient in
+      Domain.DLS.set ambient ((key, t) :: Domain.DLS.get ambient);
+      let remove () =
+        Domain.DLS.set ambient
+          (List.filter (fun (k, _) -> k != key) (Domain.DLS.get ambient))
+      in
       match f t with
       | v ->
           remove ();

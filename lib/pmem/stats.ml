@@ -32,6 +32,27 @@ let create () =
 
 let copy t = { t with stores = t.stores }
 
+(** [merge a b] is a fresh counter set with the component-wise sum of [a]
+    and [b] (high-water mark: the max). Used to aggregate the per-device
+    counters of parallel injection workers into one device-activity total;
+    neither argument is modified. *)
+let merge a b =
+  {
+    stores = a.stores + b.stores;
+    nt_stores = a.nt_stores + b.nt_stores;
+    loads = a.loads + b.loads;
+    clflush = a.clflush + b.clflush;
+    clflushopt = a.clflushopt + b.clflushopt;
+    clwb = a.clwb + b.clwb;
+    sfence = a.sfence + b.sfence;
+    mfence = a.mfence + b.mfence;
+    rmw = a.rmw + b.rmw;
+    bytes_written = a.bytes_written + b.bytes_written;
+    high_water_mark = max a.high_water_mark b.high_water_mark;
+  }
+
+let merge_all = function [] -> create () | s :: rest -> List.fold_left merge s rest
+
 let flushes t = t.clflush + t.clflushopt + t.clwb
 let fences t = t.sfence + t.mfence + t.rmw
 

@@ -18,19 +18,23 @@ let of_callstack cs = { frame = (fun label f -> Callstack.with_frame cs label f)
     loop bodies through it so that one code location stays one instruction
     identity regardless of iteration count — the way real instruction
     addresses behave. The workload driver installs the instrumented framer
-    here for the duration of a run. *)
-let ambient : t ref = ref null
+    here for the duration of a run.
 
-let in_ambient label f = !ambient.frame label f
+    Domain-local: the parallel injection scheduler re-executes targets on
+    worker domains, each of which must see only its own instrumented
+    framer. A fresh domain starts with the no-op framer. *)
+let ambient : t Domain.DLS.key = Domain.DLS.new_key (fun () -> null)
 
-(** Install [t] as ambient for the duration of [f]. *)
+let in_ambient label f = (Domain.DLS.get ambient).frame label f
+
+(** Install [t] as ambient for the duration of [f] (on this domain only). *)
 let with_ambient t f =
-  let saved = !ambient in
-  ambient := t;
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient t;
   match f () with
   | v ->
-      ambient := saved;
+      Domain.DLS.set ambient saved;
       v
   | exception e ->
-      ambient := saved;
+      Domain.DLS.set ambient saved;
       raise e

@@ -1,0 +1,97 @@
+(* Property tests for the failure-point tree: deduplication, leaf counting,
+   and deterministic traversal order — the invariants the parallel injection
+   scheduler's serialize/partition/merge cycle depends on. *)
+
+let cap path op_index = { Pmtrace.Callstack.path; op_index }
+
+(* Generator of capture descriptions: short paths over a small label
+   alphabet so collisions (duplicate paths) actually happen. *)
+let capture_list =
+  QCheck.(
+    list_of_size (Gen.int_range 0 60)
+      (pair
+         (list_of_size (Gen.int_range 0 4)
+            (oneofl [ "main"; "put"; "get"; "split"; "rebalance"; "log" ]))
+         (int_range 0 6)))
+
+let build caps =
+  let t = Mumak.Fp_tree.create () in
+  List.iter (fun (path, i) -> ignore (Mumak.Fp_tree.insert t (cap path i))) caps;
+  t
+
+let prop_double_insert_never_grows =
+  QCheck.Test.make ~name:"inserting the same capture twice never grows size" ~count:300
+    capture_list
+    (fun caps ->
+      let t = Mumak.Fp_tree.create () in
+      List.for_all
+        (fun (path, i) ->
+          ignore (Mumak.Fp_tree.insert t (cap path i));
+          let size_after_first = Mumak.Fp_tree.size t in
+          (match Mumak.Fp_tree.insert t (cap path i) with
+          | `Existing _ -> ()
+          | `Added _ -> QCheck.Test.fail_report "second insert reported `Added");
+          Mumak.Fp_tree.size t = size_after_first)
+        caps)
+
+let prop_leaf_count_is_unique_paths =
+  QCheck.Test.make ~name:"leaf count equals number of unique (path, op) pairs" ~count:300
+    capture_list
+    (fun caps ->
+      let t = build caps in
+      Mumak.Fp_tree.size t = List.length (List.sort_uniq compare caps)
+      && List.length (Mumak.Fp_tree.points t) = Mumak.Fp_tree.size t)
+
+let prop_traversal_order_deterministic =
+  QCheck.Test.make ~name:"traversal order is deterministic (discovery order)" ~count:300
+    capture_list
+    (fun caps ->
+      let t = build caps in
+      (* [points] is sorted by discovery ordinal: rebuilding from the same
+         insertion sequence — or from the serialized form — must reproduce
+         the identical traversal and serialization *)
+      let ordinals = List.map (fun p -> p.Mumak.Fp_tree.ordinal) (Mumak.Fp_tree.points t) in
+      let t2 = build caps in
+      let roundtrip = Mumak.Fp_tree.deserialize (Mumak.Fp_tree.serialize t) in
+      ordinals = List.init (Mumak.Fp_tree.size t) Fun.id
+      && Mumak.Fp_tree.serialize t = Mumak.Fp_tree.serialize t2
+      && Mumak.Fp_tree.serialize t = Mumak.Fp_tree.serialize roundtrip)
+
+let prop_serialize_preserves_ordinals =
+  QCheck.Test.make
+    ~name:"deserialize preserves capture/ordinal pairs (the parallel-partition invariant)"
+    ~count:300 capture_list
+    (fun caps ->
+      let t = build caps in
+      let t' = Mumak.Fp_tree.deserialize (Mumak.Fp_tree.serialize t) in
+      let key p =
+        ( p.Mumak.Fp_tree.ordinal,
+          p.Mumak.Fp_tree.capture.Pmtrace.Callstack.path,
+          p.Mumak.Fp_tree.capture.Pmtrace.Callstack.op_index )
+      in
+      List.map key (Mumak.Fp_tree.points t) = List.map key (Mumak.Fp_tree.points t'))
+
+let prop_find_after_insert =
+  QCheck.Test.make ~name:"every inserted capture is found; unvisited count tracks visits"
+    ~count:200 capture_list
+    (fun caps ->
+      let t = build caps in
+      List.for_all (fun (path, i) -> Mumak.Fp_tree.find t (cap path i) <> None) caps
+      && begin
+           Mumak.Fp_tree.iter t (fun p -> p.Mumak.Fp_tree.visited <- true);
+           Mumak.Fp_tree.unvisited_count t = 0
+         end)
+
+let () =
+  Alcotest.run "fp_tree"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_double_insert_never_grows;
+            prop_leaf_count_is_unique_paths;
+            prop_traversal_order_deterministic;
+            prop_serialize_preserves_ordinals;
+            prop_find_after_insert;
+          ] );
+    ]
