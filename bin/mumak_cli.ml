@@ -25,7 +25,7 @@ let build_target ~name ~version ~grouped ~workload =
         (Pmapps.Registry.find app)
 
 let run name ops key_range seed version_str grouped strategy_str bugs no_warnings
-    store_level jobs =
+    store_level jobs static =
   let version =
     match version_str with
     | "1.6" -> Pmalloc.Version.V1_6
@@ -42,23 +42,36 @@ let run name ops key_range seed version_str grouped strategy_str bugs no_warning
         registry_names;
       exit 1
   | Some target ->
+      let strategy =
+        match strategy_str with
+        | "snapshot" -> Mumak.Config.Snapshot
+        | "reexecute" -> Mumak.Config.Reexecute
+        | s -> Fmt.failwith "unknown strategy %s (snapshot | reexecute)" s
+      in
       let config =
         {
           Mumak.Config.default with
-          Mumak.Config.strategy =
-            (match strategy_str with
-            | "snapshot" -> Mumak.Config.Snapshot
-            | "reexecute" -> Mumak.Config.Reexecute
-            | s -> Fmt.failwith "unknown strategy %s (snapshot | reexecute)" s);
+          Mumak.Config.strategy = (if static then Mumak.Config.Reexecute else strategy);
           report_warnings = not no_warnings;
           granularity =
             (if store_level then Mumak.Config.Store_level
              else Mumak.Config.Persistency_instruction);
+          static;
+          prioritize = static;
           jobs = max 1 jobs;
         }
       in
       let result = Mumak.Engine.analyze ~config target in
       Fmt.pr "%a@." Mumak.Engine.pp_result result;
+      (match (result.Mumak.Engine.static, result.Mumak.Engine.first_bug_injection) with
+      | Some s, first ->
+          Fmt.pr "static analysis: %d raw findings, %d hot windows over %d recordings@."
+            (List.length s.Analysis.Static.findings)
+            (List.length s.Analysis.Static.hot_windows)
+            s.Analysis.Static.runs;
+          Fmt.pr "first bug at injection: %s (invariant-guided order)@."
+            (match first with Some n -> string_of_int n | None -> "none found")
+      | None, _ -> ());
       if Mumak.Report.bugs result.Mumak.Engine.report <> [] then exit 2
 
 let name_arg =
@@ -88,6 +101,17 @@ let jobs_arg =
           "Worker domains for the re-execute injection loop (1 = sequential). \
            Reports are identical for any N; only used with --strategy reexecute.")
 
+let static_arg =
+  Arg.(
+    value & flag
+    & info [ "static" ]
+        ~doc:
+          "Run the offline persistency dependency-graph analyzer before fault \
+           injection: records whole traces, mines likely ordering/atomicity \
+           invariants, attaches fix suggestions to findings, and reorders the \
+           injection loop so statically-suspicious failure points are tried \
+           first. Implies --strategy reexecute.")
+
 let analyze_cmd =
   let doc = "Detect crash-consistency and performance bugs in a PM application." in
   Cmd.v
@@ -95,7 +119,7 @@ let analyze_cmd =
     Term.(
       const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
       $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg
-      $ jobs_arg)
+      $ jobs_arg $ static_arg)
 
 let list_cmd =
   let doc = "List available targets and seeded bugs." in

@@ -1,0 +1,45 @@
+(** Fix suggestions attached to static-analysis findings: the concrete edit
+    that would repair (or slim down) the persist behaviour, anchored at a
+    frame + instruction ordinal so it can be located in the source.
+
+    The suggestion model follows "Automated Insertion of Flushes and Fences
+    for Persistency" (see PAPERS.md): the dependency graph tells us both
+    where a persist is missing (insert a flush/fence after the offending
+    store) and where one is useless (delete it). *)
+
+type action =
+  | Insert_flush of { line : int }
+      (** flush the cache line after the anchored store *)
+  | Insert_fence
+      (** order the anchored flush against what follows it *)
+  | Delete_flush of { line : int }  (** the anchored flush persists nothing *)
+  | Delete_fence  (** the anchored fence drains nothing *)
+
+type t = {
+  action : action;
+  seq : int;
+      (** persistency-instruction index of the anchor (the trace position the
+          edit applies to), in the same coordinates as trace-analysis
+          findings *)
+  stack : Pmtrace.Callstack.capture option;
+      (** frame + ordinal of the anchor, when a recorded execution with
+          stacks is available *)
+  rationale : string;
+}
+
+let action_to_string = function
+  | Insert_flush { line } -> Printf.sprintf "insert flush of line %d" line
+  | Insert_fence -> "insert fence"
+  | Delete_flush { line } -> Printf.sprintf "delete flush of line %d" line
+  | Delete_fence -> "delete fence"
+
+let anchor_to_string t =
+  match t.stack with
+  | Some c -> Pmtrace.Callstack.capture_to_string c
+  | None -> Printf.sprintf "instruction #%d" t.seq
+
+let to_string t =
+  Printf.sprintf "%s at %s (%s)" (action_to_string t.action) (anchor_to_string t)
+    t.rationale
+
+let pp ppf t = Fmt.string ppf (to_string t)

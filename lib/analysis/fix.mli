@@ -1,0 +1,30 @@
+(** Fix suggestions attached to static-analysis findings: the concrete edit
+    that would repair (or slim down) the persist behaviour, anchored at a
+    frame + instruction ordinal. *)
+
+type action =
+  | Insert_flush of { line : int }
+      (** flush the cache line after the anchored store *)
+  | Insert_fence
+      (** order the anchored flush against what follows it *)
+  | Delete_flush of { line : int }  (** the anchored flush persists nothing *)
+  | Delete_fence  (** the anchored fence drains nothing *)
+
+type t = {
+  action : action;
+  seq : int;
+      (** persistency-instruction index of the anchor, in the same
+          coordinates as trace-analysis findings *)
+  stack : Pmtrace.Callstack.capture option;
+      (** frame + ordinal of the anchor, when available *)
+  rationale : string;
+}
+
+val action_to_string : action -> string
+
+val anchor_to_string : t -> string
+(** The frame + ordinal rendering ("a > b @n"), falling back to the
+    instruction index when no stack was recorded. *)
+
+val to_string : t -> string
+val pp : t Fmt.t

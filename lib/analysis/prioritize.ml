@@ -1,0 +1,57 @@
+(** Invariant-guided failure-point prioritization.
+
+    The static analyzer marks {e hot windows} (persistency-index intervals
+    implicated by an invariant violation or a never-persisted store) and
+    {e hot frames} (the innermost call-stack frame of each violation
+    anchor). A failure point is {e prioritized} when its first dynamic
+    occurrence falls inside a hot window, or when the frame it fires in is
+    one the static evidence implicates — the latter matters because
+    windows are per-activation: a bug that repeats across many activations
+    (tree splits at different depths) is witnessed in one window but must
+    be injected at a {e different} activation's unique call path.
+
+    Scoring is deliberately {e presence-based}, not magnitude-based:
+    prioritized points come first in discovery-ordinal order, the rest
+    follow in discovery-ordinal order. This gives a monotonicity
+    guarantee: if the buggy failure point is itself prioritized, its
+    position in the prioritized schedule is never later than in the
+    unprioritized one, because only lower-ordinal prioritized points can
+    precede it — a subset of the points that preceded it anyway. And with
+    no static evidence at all, the schedule degrades to exactly the
+    unprioritized one. *)
+
+type scored = { ordinal : int; first_seq : int; score : int }
+
+let innermost (c : Pmtrace.Callstack.capture) =
+  match List.rev c.Pmtrace.Callstack.path with [] -> None | f :: _ -> Some f
+
+(** [score ?hot_frames windows points] — [points] are
+    [(ordinal, first_seq, capture)] triples from the offline failure-point
+    replay; [windows] are [(lo, hi, weight)] hot windows from {!Static}
+    (any positive weight marks presence). [score] is [1] when the point is
+    prioritized, [0] otherwise. *)
+let score ?(hot_frames = []) windows points =
+  List.map
+    (fun (ordinal, first_seq, capture) ->
+      let in_window =
+        List.exists (fun (lo, hi, w) -> w > 0 && lo < first_seq && first_seq <= hi) windows
+      in
+      let in_frame =
+        match innermost capture with
+        | Some f -> List.exists (String.equal f) hot_frames
+        | None -> false
+      in
+      { ordinal; first_seq; score = (if in_window || in_frame then 1 else 0) })
+    points
+
+(** [order ?hot_frames windows points] is the injection priority:
+    prioritized points first, each block in discovery-ordinal order. *)
+let order ?hot_frames windows points =
+  score ?hot_frames windows points
+  |> List.sort (fun a b ->
+         if a.score <> b.score then compare b.score a.score else compare a.ordinal b.ordinal)
+  |> List.map (fun s -> s.ordinal)
+
+let pp_scored ppf s =
+  Fmt.pf ppf "fp %d @#%d%s" s.ordinal s.first_seq
+    (if s.score > 0 then " (prioritized)" else "")

@@ -1,0 +1,31 @@
+(** Invariant-guided failure-point prioritization: failure points whose
+    first occurrence falls inside a statically-suspicious window — or that
+    fire in a call-stack frame the static evidence implicates — are
+    injected first, in discovery order; everything else follows, also in
+    discovery order. Presence-based ranking makes the schedule provably no
+    later than the unprioritized one for any failure point that is itself
+    prioritized, and identical to it when the evidence is silent. *)
+
+type scored = { ordinal : int; first_seq : int; score : int }
+
+val score :
+  ?hot_frames:string list ->
+  (int * int * int) list ->
+  (int * int * Pmtrace.Callstack.capture) list ->
+  scored list
+(** [score ?hot_frames windows points] — [points] are
+    [(ordinal, first_seq, capture)] triples in persistency-index
+    coordinates; [windows] are [(lo, hi, weight)] hot windows from
+    {!Static}; [hot_frames] are innermost frame labels of violation
+    anchors. [score] is [1] (prioritized: inside a window with [lo < s <=
+    hi], or innermost frame implicated) or [0]. *)
+
+val order :
+  ?hot_frames:string list ->
+  (int * int * int) list ->
+  (int * int * Pmtrace.Callstack.capture) list ->
+  int list
+(** [order ?hot_frames windows points] is the injection priority:
+    prioritized ordinals first, both blocks in ascending-ordinal order. *)
+
+val pp_scored : scored Fmt.t

@@ -28,7 +28,8 @@ let analyze ?budget_s (kv : Kv_target.t) =
   let add kind ~stack ~seq detail =
     ignore
       (Mumak.Report.add report
-         { Mumak.Report.kind; phase = Mumak.Report.Fault_injection; stack; seq; detail })
+         { Mumak.Report.kind; phase = Mumak.Report.Fault_injection; stack; seq; detail;
+           fix = None })
   in
   let (), metrics =
     Mumak.Metrics.measure (fun () ->
@@ -49,6 +50,7 @@ let analyze ?budget_s (kv : Kv_target.t) =
                    stack = None;
                    seq = Some r.Mumak.Trace_analysis.seq;
                    detail = r.Mumak.Trace_analysis.detail;
+                   fix = None;
                  }))
           (Mumak.Trace_analysis.finish ta);
         (* State exploration with the PMDK-transaction oracle. *)

@@ -47,13 +47,13 @@ let analyze ?budget_s (target : Mumak.Target.t) =
           (Mumak.Report.add report
              { Mumak.Report.kind = Mumak.Report.Unrecoverable_state;
                phase = Mumak.Report.Fault_injection; stack = Some capture; seq = None;
-               detail = msg })
+               detail = msg; fix = None })
     | Mumak.Oracle.Crashed msg ->
         ignore
           (Mumak.Report.add report
              { Mumak.Report.kind = Mumak.Report.Recovery_crash;
                phase = Mumak.Report.Fault_injection; stack = Some capture; seq = None;
-               detail = msg })
+               detail = msg; fix = None })
   in
   let (), metrics =
     Mumak.Metrics.measure (fun () ->

@@ -47,7 +47,7 @@ let analyze ?budget_s (target : Mumak.Target.t) =
     ignore
       (Mumak.Report.add report
          { Mumak.Report.kind; phase = Mumak.Report.Trace_analysis; stack = None;
-           seq = Some seq; detail })
+           seq = Some seq; detail; fix = None })
   in
   let (), metrics =
     Mumak.Metrics.measure (fun () ->

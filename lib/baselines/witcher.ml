@@ -32,7 +32,7 @@ let analyze ?budget_s (kv : Kv_target.t) =
     ignore
       (Mumak.Report.add report
          { Mumak.Report.kind; phase = Mumak.Report.Fault_injection; stack; seq = None;
-           detail })
+           detail; fix = None })
   in
   let candidates = ref [] and n_candidates = ref 0 and processed = ref 0 in
   let (), metrics =

@@ -111,14 +111,14 @@ let analyze ?budget_s (target : Mumak.Target.t) =
                        { Mumak.Report.kind = Mumak.Report.Unrecoverable_state;
                          phase = Mumak.Report.Fault_injection;
                          stack = Some capture; seq = None;
-                         detail = msg })
+                         detail = msg; fix = None })
               | Mumak.Oracle.Crashed msg ->
                   ignore
                     (Mumak.Report.add report
                        { Mumak.Report.kind = Mumak.Report.Recovery_crash;
                          phase = Mumak.Report.Fault_injection;
                          stack = Some capture; seq = None;
-                         detail = msg }))
+                         detail = msg; fix = None }))
             extra_images;
           Dbi.charge ~cost:60_000 ();
           let rdev = Pmem.Device.of_image image in
@@ -149,6 +149,7 @@ let analyze ?budget_s (target : Mumak.Target.t) =
                    stack = Some capture;
                    seq = None;
                    detail;
+                   fix = None;
                  })
           in
           (match oracle with

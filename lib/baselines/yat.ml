@@ -58,6 +58,7 @@ let analyze ?budget_s (target : Mumak.Target.t) =
                                    stack = Some capture;
                                    seq = None;
                                    detail = msg;
+                                   fix = None;
                                  })
                         | Mumak.Oracle.Crashed msg ->
                             ignore
@@ -68,6 +69,7 @@ let analyze ?budget_s (target : Mumak.Target.t) =
                                    stack = Some capture;
                                    seq = None;
                                    detail = msg;
+                                   fix = None;
                                  })
                       end
                       else timed_out := true)

@@ -30,6 +30,25 @@ type t = {
           unchanged — atomicity/ordering bugs survive eADR — but the trace
           analysis stops reporting unflushed stores as durability bugs *)
   max_failure_points : int option;  (** cap for very large targets *)
+  static : bool;
+      (** run the offline persistency dependency-graph analyzer over
+          recorded traces before the dynamic phases: builds per-cacheline
+          store→flush→fence lineages, mines likely ordering/atomicity
+          invariants across [invariant_runs] executions, and attaches fix
+          suggestions to its findings *)
+  prioritize : bool;
+      (** reorder the [Reexecute] injection loop so failure points whose
+          first occurrence falls inside a statically-suspicious window are
+          injected first (invariant-guided prioritization). Requires
+          [static]; ignored under [Snapshot]. *)
+  invariant_runs : int;
+      (** executions (with distinct workload seeds) the invariant miner
+          observes; more runs raise support counts and kill noise *)
+  invariant_support : int;
+      (** minimum dynamic instances before a candidate invariant is kept *)
+  invariant_confidence : float;
+      (** minimum fraction of instances that must satisfy a candidate
+          atomicity invariant for it to be reported when violated *)
   jobs : int;
       (** worker domains for the [Reexecute] injection loop. Each fault
           injection is an independent re-execution against its own crash
@@ -49,8 +68,18 @@ let default =
     detect_dirty_overwrites = false;
     eadr = false;
     max_failure_points = None;
+    static = false;
+    prioritize = false;
+    invariant_runs = 2;
+    invariant_support = 3;
+    invariant_confidence = 0.9;
     jobs = 1;
   }
+
+(** [default] plus the full static pipeline: dependency-graph analysis,
+    invariant mining, fix suggestions and invariant-guided prioritization
+    of the re-execution injection loop. *)
+let static_analysis = { default with strategy = Reexecute; static = true; prioritize = true }
 
 (** The configuration the benchmarks use to mirror the original system's
     cost model. *)

@@ -12,6 +12,16 @@ type result = {
   metrics : Metrics.t;
   fi_metrics : Metrics.t;
   ta_metrics : Metrics.t;
+  sa_metrics : Metrics.t;
+      (** static-analysis phase (recordings + graph/invariant mining);
+          [Metrics.zero] when [Config.static] is off *)
+  static : Analysis.Static.t option;
+      (** the static analyzer's output (graphs, invariants, raw findings)
+          when [Config.static] was on *)
+  first_bug_injection : int option;
+      (** 1-based position in the injection schedule of the first fault
+          whose oracle flagged a bug; [None] when fault injection found
+          nothing — the time-to-first-bug metric of [bench prioritized] *)
   worker_metrics : Metrics.t list;
       (** per-domain breakdown of the parallel injection phase; empty when
           the injection ran sequentially *)
@@ -49,12 +59,68 @@ let oracle_finding (r : Fault_injection.record) =
     stack = Some r.Fault_injection.point.Fp_tree.capture;
     seq = None;
     detail;
+    fix = None;
   }
+
+(* One fully-instrumented recording for the static analyzer: stacks on
+   every event; [loads] additionally traces PM loads (shifting seq, which
+   is why the analyzer keeps persistency-index coordinates). *)
+let record_trace ?(loads = false) ~eadr (target : Target.t) =
+  let device = Pmem.Device.create ~eadr ~size:target.Target.pool_size () in
+  if loads then Pmem.Device.trace_loads device true;
+  let tracer = Pmtrace.Tracer.create ~collect:true ~with_stacks:true device in
+  target.Target.run ~device ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer));
+  Pmtrace.Tracer.detach tracer;
+  Pmtrace.Trace.to_list (Pmtrace.Tracer.trace tracer)
+
+let static_kind_to_report : Analysis.Static.kind -> Report.kind = function
+  | Analysis.Static.Durability -> Report.Durability_bug
+  | Analysis.Static.Transient -> Report.Transient_data_warning
+  | Analysis.Static.Ordering -> Report.Ordering_violation
+  | Analysis.Static.Atomicity -> Report.Atomicity_violation
+  | Analysis.Static.Redundant_flush -> Report.Redundant_flush
+  | Analysis.Static.Redundant_fence -> Report.Redundant_fence
 
 let analyze ?(config = Config.default) (target : Target.t) =
   let report = Report.create ~target:target.Target.name in
   let ta = Trace_analysis.create config in
   let ta_feed event _stack = Trace_analysis.feed ta event in
+  (* Phase 0 (optional): offline static analysis over recorded traces —
+     dependency graphs, invariant mining, fix suggestions, and the
+     invariant-guided priority over failure points. *)
+  let static_result, priority, sa_metrics, static_executions =
+    if not config.Config.static then (None, None, Metrics.zero, 0)
+    else begin
+      let runs = max 1 config.Config.invariant_runs in
+      let (recordings, static_r), sa_metrics =
+        Metrics.measure (fun () ->
+            let recordings =
+              List.init runs (fun _ ->
+                  let noload = record_trace ~loads:false ~eadr:config.Config.eadr target in
+                  let loaded = record_trace ~loads:true ~eadr:config.Config.eadr target in
+                  (noload, loaded))
+            in
+            let s =
+              Analysis.Static.analyze ~support:config.Config.invariant_support
+                ~confidence:config.Config.invariant_confidence ~eadr:config.Config.eadr
+                recordings
+            in
+            (recordings, s))
+      in
+      let priority =
+        if config.Config.prioritize && config.Config.strategy = Config.Reexecute then
+          let points =
+            Fault_injection.offline_points config (fst (List.hd recordings))
+          in
+          Some
+            (Analysis.Prioritize.order
+               ~hot_frames:static_r.Analysis.Static.hot_frames
+               static_r.Analysis.Static.hot_windows points)
+        else None
+      in
+      (Some static_r, priority, sa_metrics, 2 * runs)
+    end
+  in
   (* Phase 1+2: instrumented execution(s), failure-point tree, injection. *)
   let (fi_result, pm_stats), fi_phase =
     Metrics.measure (fun () ->
@@ -66,7 +132,7 @@ let analyze ?(config = Config.default) (target : Target.t) =
             Fault_injection.inject_snapshot ~extra_listener:ta_feed config target
         | Config.Reexecute ->
             let tree, stats = Fault_injection.build_tree ~extra_listener:ta_feed config target in
-            (Fault_injection.inject_reexecute config target tree, stats))
+            (Fault_injection.inject_reexecute ?priority config target tree, stats))
   in
   (* GC counters are domain-local: fold what the injection workers
      allocated into the phase total measured on this domain. *)
@@ -81,10 +147,31 @@ let analyze ?(config = Config.default) (target : Target.t) =
       resolve_stacks target ~wanted:(List.map (fun r -> r.Trace_analysis.seq) raw_findings)
     else Hashtbl.create 0
   in
-  (* Combine: fault-injection bugs first, then trace-analysis findings. *)
+  (* Combine: fault-injection bugs first, then static findings (so the
+     fix-carrying version of a finding wins deduplication against its
+     trace-analysis twin), then trace-analysis findings. *)
   List.iter
     (fun r -> ignore (Report.add report (oracle_finding r)))
     (Fault_injection.bug_records fi_result);
+  (match static_result with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (f : Analysis.Static.finding) ->
+          let kind = static_kind_to_report f.Analysis.Static.kind in
+          let is_warning = Report.kind_is_warning kind in
+          if (not is_warning) || config.Config.report_warnings then
+            ignore
+              (Report.add report
+                 {
+                   Report.kind;
+                   phase = Report.Static_analysis;
+                   stack = f.Analysis.Static.stack;
+                   seq = Some f.Analysis.Static.seq;
+                   detail = f.Analysis.Static.detail;
+                   fix = f.Analysis.Static.fix;
+                 }))
+        s.Analysis.Static.findings);
   List.iter
     (fun (r : Trace_analysis.raw) ->
       let is_warning = Report.kind_is_warning r.Trace_analysis.kind in
@@ -97,6 +184,7 @@ let analyze ?(config = Config.default) (target : Target.t) =
                stack = Hashtbl.find_opt resolved r.Trace_analysis.seq;
                seq = Some r.Trace_analysis.seq;
                detail = r.Trace_analysis.detail;
+               fix = None;
              }))
     raw_findings;
   {
@@ -104,12 +192,17 @@ let analyze ?(config = Config.default) (target : Target.t) =
     failure_points = Fp_tree.size fi_result.Fault_injection.tree;
     injections = List.length fi_result.Fault_injection.records;
     executions =
-      fi_result.Fault_injection.executions + (if config.Config.resolve_stacks then 1 else 0);
+      fi_result.Fault_injection.executions
+      + (if config.Config.resolve_stacks then 1 else 0)
+      + static_executions;
     trace_events = Trace_analysis.event_count ta;
     pm_stats;
-    metrics = Metrics.add fi_metrics ta_metrics;
+    metrics = Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics;
     fi_metrics;
     ta_metrics;
+    sa_metrics;
+    static = static_result;
+    first_bug_injection = Fault_injection.injections_to_first_bug fi_result;
     worker_metrics = fi_result.Fault_injection.worker_metrics;
   }
 

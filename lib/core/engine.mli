@@ -15,6 +15,16 @@ type result = {
   fi_metrics : Metrics.t;
       (** fault-injection phase, including worker-domain allocations *)
   ta_metrics : Metrics.t;  (** trace-analysis phase *)
+  sa_metrics : Metrics.t;
+      (** static-analysis phase (recordings + graph/invariant mining);
+          [Metrics.zero] when [Config.static] is off *)
+  static : Analysis.Static.t option;
+      (** the static analyzer's output (graphs, invariants, raw findings)
+          when [Config.static] was on *)
+  first_bug_injection : int option;
+      (** 1-based position in the injection schedule of the first fault
+          whose oracle flagged a bug; [None] when fault injection found
+          nothing — the time-to-first-bug metric of [bench prioritized] *)
   worker_metrics : Metrics.t list;
       (** per-domain breakdown of the parallel injection phase
           ([Config.jobs] entries); empty when injection ran sequentially *)

@@ -19,6 +19,9 @@ type result = {
   tree : Fp_tree.t;
   records : record list; (* sorted by failure-point ordinal *)
   executions : int; (* workload executions performed *)
+  injection_order : int list;
+      (* failure-point ordinals in the order faults were actually injected;
+         equals ordinal order for the unprioritized loop *)
   worker_metrics : Metrics.t list;
       (* per-worker-domain resource usage of the parallel injection phase;
          empty for the sequential loop and the snapshot strategy *)
@@ -51,6 +54,51 @@ let under_cap config tree =
   match config.Config.max_failure_points with
   | None -> true
   | Some cap -> Fp_tree.size tree < cap
+
+(** Offline replay of the failure-point detector over a recorded trace
+    (events must carry stacks, i.e. come from a [with_stacks] tracer).
+    Returns [(ordinal, pseq, capture)] triples: the discovery ordinal of
+    each unique failure point, the persistency index (count of non-[Load]
+    events) of its first dynamic occurrence, and the call-stack capture it
+    fires under. Because this mirrors [fp_listener] and
+    [Fp_tree.insert] exactly, the ordinals coincide with the ones
+    {!build_tree} assigns on a live execution of the same workload — which
+    is what lets {!Prioritize} scores computed offline address the live
+    tree. *)
+let offline_points config (events : Pmtrace.Event.t list) =
+  let tree = Fp_tree.create () in
+  let points = ref [] in
+  let stores_since = ref 0 in
+  let pseq = ref 0 in
+  List.iter
+    (fun (e : Pmtrace.Event.t) ->
+      (match e.Pmtrace.Event.op with Pmem.Op.Load _ -> () | _ -> incr pseq);
+      let fp () =
+        match e.Pmtrace.Event.stack with
+        | None -> ()
+        | Some capture ->
+            if under_cap config tree then (
+              match Fp_tree.insert tree capture with
+              | `Added p -> points := (p.Fp_tree.ordinal, !pseq, capture) :: !points
+              | `Existing _ -> ())
+      in
+      match e.Pmtrace.Event.op with
+      | Pmem.Op.Load _ -> ()
+      | Pmem.Op.Store _ -> (
+          incr stores_since;
+          match config.Config.granularity with
+          | Config.Store_level -> fp ()
+          | Config.Persistency_instruction -> ())
+      | Pmem.Op.Flush _ | Pmem.Op.Fence _ -> (
+          match config.Config.granularity with
+          | Config.Persistency_instruction ->
+              if !stores_since > 0 then begin
+                stores_since := 0;
+                fp ()
+              end
+          | Config.Store_level -> ()))
+    events;
+  List.rev !points
 
 (** Build the failure-point tree with one instrumented execution (steps 4-5
     of Figure 1). [extra_listener] lets the engine run the trace-analysis
@@ -117,6 +165,66 @@ let reexecute_loop config (target : Target.t) tree =
   done;
   (List.rev !records, !executions)
 
+(* Targeted injection: crash at the first dynamic occurrence of the failure
+   point with [ordinal]. Because ordinals are assigned in discovery order,
+   this is the same occurrence — hence the same program-prefix image — the
+   unprioritized loop crashes at when that point's turn comes, which is why
+   prioritization can only reorder findings, never change them. *)
+let reexecute_at config (target : Target.t) tree ~ordinal =
+  let device = Pmem.Device.create ~eadr:config.Config.eadr ~size:target.Target.pool_size () in
+  let tracer = Pmtrace.Tracer.create ~collect:false device in
+  let injected = ref None in
+  Pmtrace.Tracer.add_listener tracer
+    (fp_listener ~granularity:config.Config.granularity ~on_fp:(fun capture ->
+         if !injected = None then
+           match Fp_tree.find tree capture with
+           | Some point when point.Fp_tree.ordinal = ordinal && not point.Fp_tree.visited ->
+               point.Fp_tree.visited <- true;
+               injected :=
+                 Some (point, Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix);
+               raise Crash_now
+           | Some _ | None -> ()));
+  (try
+     target.Target.run ~device
+       ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer))
+   with
+  | Crash_now -> ()
+  | Fun.Finally_raised Crash_now -> ()
+  | _ when !injected <> None -> ());
+  Pmtrace.Tracer.detach tracer;
+  !injected
+
+(* Inject in the order given by [order] (failure-point ordinals), then sweep
+   any leaves the priority list missed (or that were not reached by their
+   targeted execution) with the standard loop. Returns records in injection
+   order. *)
+let reexecute_priority config (target : Target.t) tree order =
+  let points = Fp_tree.points tree in
+  let records = ref [] and executions = ref 0 in
+  List.iter
+    (fun ordinal ->
+      match
+        List.find_opt
+          (fun (p : Fp_tree.point) -> p.Fp_tree.ordinal = ordinal && not p.Fp_tree.visited)
+          points
+      with
+      | None -> ()
+      | Some _ -> (
+          incr executions;
+          match reexecute_at config target tree ~ordinal with
+          | None -> () (* nondeterminism: the point was not reached this run *)
+          | Some (point, image) ->
+              let oracle =
+                Oracle.classify target.Target.recover
+                  (Pmem.Device.of_image ~eadr:config.Config.eadr image)
+              in
+              records := { point; oracle } :: !records))
+    order;
+  let stragglers, extra = reexecute_loop config target tree in
+  (List.rev !records @ stragglers, !executions + extra)
+
+let ordinals_of records = List.map (fun r -> r.point.Fp_tree.ordinal) records
+
 (* The deterministic-merge rule: reports are ordered by failure-point
    discovery ordinal, so the result is identical regardless of how the
    leaves were scheduled over workers. *)
@@ -129,14 +237,32 @@ let sort_records =
    assignment. Workers share no mutable state: each execution creates its
    own device and tracer, and the ambient framer/transaction state is
    domain-local. *)
-let inject_parallel config (target : Target.t) tree ~jobs =
+let inject_parallel ?priority config (target : Target.t) tree ~jobs =
   let serialized = Fp_tree.serialize tree in
+  (* Without a priority, leaves are partitioned round-robin by ordinal.
+     With one, they are partitioned round-robin by *rank* in the priority
+     order, so every worker starts on high-priority points. *)
+  let shares =
+    match priority with
+    | None -> None
+    | Some order ->
+        Some
+          (List.init jobs (fun w ->
+               List.filteri (fun rank _ -> rank mod jobs = w) order))
+  in
   let worker w () =
     Metrics.measure (fun () ->
         let local = Fp_tree.deserialize serialized in
-        Fp_tree.iter local (fun p ->
-            if p.Fp_tree.ordinal mod jobs <> w then p.Fp_tree.visited <- true);
-        reexecute_loop config target local)
+        match shares with
+        | None ->
+            Fp_tree.iter local (fun p ->
+                if p.Fp_tree.ordinal mod jobs <> w then p.Fp_tree.visited <- true);
+            reexecute_loop config target local
+        | Some shares ->
+            let mine = List.nth shares w in
+            Fp_tree.iter local (fun p ->
+                if not (List.mem p.Fp_tree.ordinal mine) then p.Fp_tree.visited <- true);
+            reexecute_priority config target local mine)
   in
   let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
   let results = List.map Domain.join domains in
@@ -157,7 +283,16 @@ let inject_parallel config (target : Target.t) tree ~jobs =
       results
   in
   let executions = List.fold_left (fun acc ((_, e), _) -> acc + e) 0 results in
-  { tree; records = sort_records records; executions; worker_metrics }
+  (* The logical injection order of the merged schedule: priority rank when
+     prioritized (each worker drains its share in rank order), discovery
+     ordinal otherwise. *)
+  let injected = List.map (fun r -> r.point.Fp_tree.ordinal) records in
+  let injection_order =
+    match priority with
+    | Some order -> List.filter (fun o -> List.mem o injected) order
+    | None -> List.sort compare injected
+  in
+  { tree; records = sort_records records; executions; injection_order; worker_metrics }
 
 (** The paper's injection loop: re-execute the workload until every leaf of
     the tree is visited, injecting one fault per execution (steps 6-9 of
@@ -166,14 +301,24 @@ let inject_parallel config (target : Target.t) tree ~jobs =
     re-execution, so the leaves are partitioned round-robin by ordinal and
     the per-worker records merged back in ordinal order, making the result
     byte-for-byte identical to the sequential schedule. *)
-let inject_reexecute config (target : Target.t) tree =
+let inject_reexecute ?priority config (target : Target.t) tree =
   (* never spawn more domains than there are leaves to inject *)
   let jobs = max 1 (min config.Config.jobs (max 1 (Fp_tree.size tree))) in
   if jobs = 1 then begin
-    let records, executions = reexecute_loop config target tree in
-    { tree; records = sort_records records; executions; worker_metrics = [] }
+    let records, executions =
+      match priority with
+      | None -> reexecute_loop config target tree
+      | Some order -> reexecute_priority config target tree order
+    in
+    {
+      tree;
+      records = sort_records records;
+      executions;
+      injection_order = ordinals_of records;
+      worker_metrics = [];
+    }
   end
-  else inject_parallel config target tree ~jobs
+  else inject_parallel ?priority config target tree ~jobs
 
 (** Simulator-only optimisation ([Config.Snapshot]): a single execution in
     which each new failure point immediately snapshots its crash image and
@@ -203,7 +348,28 @@ let inject_snapshot ?(extra_listener = fun _ _ -> ()) config (target : Target.t)
       detect event stack);
   target.Target.run ~device ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer));
   Pmtrace.Tracer.detach tracer;
-  ( { tree; records = sort_records (List.rev !records); executions = 1; worker_metrics = [] },
+  ( {
+      tree;
+      records = sort_records (List.rev !records);
+      executions = 1;
+      injection_order = ordinals_of (List.rev !records);
+      worker_metrics = [];
+    },
     Pmem.Device.stats device )
 
 let bug_records result = List.filter (fun r -> Oracle.is_bug r.oracle) result.records
+
+(** 1-based position in {!result.injection_order} of the first injection
+    whose oracle flagged a bug, or [None] when no injection found one — the
+    time-to-first-bug metric of the [bench prioritized] experiment. *)
+let injections_to_first_bug result =
+  let bug_ordinals =
+    List.filter_map
+      (fun r -> if Oracle.is_bug r.oracle then Some r.point.Fp_tree.ordinal else None)
+      result.records
+  in
+  let rec scan i = function
+    | [] -> None
+    | o :: rest -> if List.mem o bug_ordinals then Some i else scan (i + 1) rest
+  in
+  scan 1 result.injection_order

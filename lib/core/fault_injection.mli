@@ -18,6 +18,10 @@ type result = {
           deterministic-merge rule that makes reports identical no matter
           how injections were scheduled over worker domains *)
   executions : int;  (** workload executions performed *)
+  injection_order : int list;
+      (** failure-point ordinals in the order faults were actually
+          injected; discovery-ordinal order for the unprioritized loop,
+          priority-rank order when a [priority] was supplied *)
   worker_metrics : Metrics.t list;
       (** per-worker-domain resource usage of the parallel injection phase
           ([Config.jobs] entries); empty for the sequential loop and the
@@ -46,14 +50,32 @@ val build_tree :
     of Figure 1). [extra_listener] lets the engine stream the trace
     analysis off the same execution. *)
 
-val inject_reexecute : Config.t -> Target.t -> Fp_tree.t -> result
+val offline_points :
+  Config.t -> Pmtrace.Event.t list -> (int * int * Pmtrace.Callstack.capture) list
+(** Offline replay of the failure-point detector over a recorded trace
+    (events must carry stacks). Returns [(ordinal, pseq, capture)] triples:
+    each unique failure point's discovery ordinal, the persistency index of
+    its first dynamic occurrence, and the call stack it fires under. The
+    ordinals coincide with the ones
+    {!build_tree} assigns on a live execution of the same deterministic
+    workload, so scores computed offline address the live tree. *)
+
+val inject_reexecute : ?priority:int list -> Config.t -> Target.t -> Fp_tree.t -> result
 (** The paper's injection loop: re-execute the workload until every leaf is
     visited, one fault per execution (steps 6–9 of Figure 1). With
     [Config.jobs > 1] the leaves are partitioned round-robin by ordinal
     over that many worker domains, each re-executing against its own
     private device/tracer/tree, and the records merged back in ordinal
     order — byte-for-byte the sequential result (asserted by the
-    differential tests). *)
+    differential tests).
+
+    [priority] (failure-point ordinals, most suspicious first) reorders the
+    loop: each listed point is injected by a targeted execution that
+    crashes at its {e first} dynamic occurrence — the same occurrence, and
+    therefore the same program-prefix image, the unprioritized loop crashes
+    at — so the set of records is unchanged and only
+    [result.injection_order] differs. Leaves the priority misses are swept
+    by the standard loop afterwards. *)
 
 val inject_snapshot :
   ?extra_listener:(Pmtrace.Event.t -> Pmtrace.Callstack.t -> unit) ->
@@ -66,3 +88,8 @@ val inject_snapshot :
     component is the device counters of the instrumented execution. *)
 
 val bug_records : result -> record list
+
+val injections_to_first_bug : result -> int option
+(** 1-based position in [result.injection_order] of the first injection
+    whose oracle flagged a bug ([None] if no injection found one) — the
+    time-to-first-bug metric of the [bench prioritized] experiment. *)

@@ -1,0 +1,24 @@
+(** Recovery-as-oracle (paper section 4.1): the application's own recovery
+    procedure, run against a simulated crash image, decides whether the
+    post-failure state is a bug — no specification or annotations needed,
+    which is what makes the fault injector black-box. *)
+
+type outcome =
+  | Consistent  (** recovery succeeded: the state is valid (or was repaired) *)
+  | Unrecoverable of string
+      (** recovery completed but deemed the state beyond repair *)
+  | Crashed of string
+      (** recovery itself died (the segfault-in-recovery analogue); carries
+          the exception text *)
+
+val classify :
+  (Pmem.Device.t -> (unit, string) result) -> Pmem.Device.t -> outcome
+(** [classify recover dev] runs [recover] on [dev] (a device rebuilt from a
+    crash image) and maps its result — including any exception it raises —
+    to an {!outcome}. *)
+
+val is_bug : outcome -> bool
+(** [true] for {!Unrecoverable} and {!Crashed}; a [Consistent] state is by
+    definition one the application can continue from. *)
+
+val to_string : outcome -> string

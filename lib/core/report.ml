@@ -11,16 +11,21 @@ type kind =
   | Transient_data_warning
   | Multi_store_flush_warning
   | Unordered_flushes_warning
+  | Ordering_violation
+      (** static analysis: a likely persist-ordering invariant is violated *)
+  | Atomicity_violation
+      (** static analysis: locations that usually persist atomically were split *)
 
 let kind_is_warning = function
-  | Transient_data_warning | Multi_store_flush_warning | Unordered_flushes_warning -> true
+  | Transient_data_warning | Multi_store_flush_warning | Unordered_flushes_warning
+  | Ordering_violation | Atomicity_violation -> true
   | Unrecoverable_state | Recovery_crash | Durability_bug | Redundant_flush
   | Redundant_fence | Dirty_overwrite -> false
 
 let kind_is_correctness = function
   | Unrecoverable_state | Recovery_crash | Durability_bug | Dirty_overwrite -> true
   | Redundant_flush | Redundant_fence | Transient_data_warning | Multi_store_flush_warning
-  | Unordered_flushes_warning -> false
+  | Unordered_flushes_warning | Ordering_violation | Atomicity_violation -> false
 
 let kind_to_string = function
   | Unrecoverable_state -> "unrecoverable state"
@@ -32,8 +37,10 @@ let kind_to_string = function
   | Transient_data_warning -> "transient data (warning)"
   | Multi_store_flush_warning -> "multi-store flush (warning)"
   | Unordered_flushes_warning -> "unordered flushes (warning)"
+  | Ordering_violation -> "ordering violation (warning)"
+  | Atomicity_violation -> "atomicity violation (warning)"
 
-type phase = Fault_injection | Trace_analysis
+type phase = Fault_injection | Trace_analysis | Static_analysis
 
 type finding = {
   kind : kind;
@@ -41,6 +48,8 @@ type finding = {
   stack : Pmtrace.Callstack.capture option;  (** code path to the bug *)
   seq : int option;  (** instruction counter of the offending instruction *)
   detail : string;
+  fix : Analysis.Fix.t option;
+      (** suggested repair (static analysis findings only) *)
 }
 
 type t = {
@@ -91,13 +100,16 @@ let signature t =
 let equal a b = List.equal String.equal (signature a) (signature b)
 
 let pp_finding ppf f =
-  Fmt.pf ppf "[%s] %s: %s%s"
-    (match f.phase with Fault_injection -> "FI" | Trace_analysis -> "TA")
+  Fmt.pf ppf "[%s] %s: %s%s%s"
+    (match f.phase with Fault_injection -> "FI" | Trace_analysis -> "TA" | Static_analysis -> "SA")
     (kind_to_string f.kind) f.detail
     (match f.stack with
     | Some c -> "\n    at " ^ Pmtrace.Callstack.capture_to_string c
     | None -> (
         match f.seq with Some s -> Printf.sprintf "\n    at instruction #%d" s | None -> ""))
+    (match f.fix with
+    | Some fix -> "\n    fix: " ^ Analysis.Fix.to_string fix
+    | None -> "")
 
 let pp ppf t =
   let bugs = bugs t and warnings = warnings t in

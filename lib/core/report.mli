@@ -11,12 +11,16 @@ type kind =
   | Transient_data_warning
   | Multi_store_flush_warning
   | Unordered_flushes_warning
+  | Ordering_violation
+      (** static analysis: a likely persist-ordering invariant is violated *)
+  | Atomicity_violation
+      (** static analysis: locations that usually persist atomically were split *)
 
 val kind_is_warning : kind -> bool
 val kind_is_correctness : kind -> bool
 val kind_to_string : kind -> string
 
-type phase = Fault_injection | Trace_analysis
+type phase = Fault_injection | Trace_analysis | Static_analysis
 
 type finding = {
   kind : kind;
@@ -24,6 +28,8 @@ type finding = {
   stack : Pmtrace.Callstack.capture option;  (** code path to the bug *)
   seq : int option;  (** instruction counter of the offending instruction *)
   detail : string;
+  fix : Analysis.Fix.t option;
+      (** suggested repair (static analysis findings only) *)
 }
 
 type t

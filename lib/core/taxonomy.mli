@@ -1,0 +1,43 @@
+(** The PM bug taxonomy of paper section 2, and the tool-capability matrix
+    of Table 1. *)
+
+type bug_class =
+  | Durability  (** a store that never becomes durable before it is needed *)
+  | Atomicity  (** a multi-store update a crash can leave half-applied *)
+  | Ordering  (** stores that may persist in an order recovery cannot handle *)
+  | Redundant_flush  (** performance: flushing a clean or volatile line *)
+  | Redundant_fence  (** performance: a fence with nothing pending *)
+  | Transient_data  (** PM used as scratch space, never persisted at all *)
+
+val all_classes : bug_class list
+(** Every class, in the column order of Table 1. *)
+
+val class_to_string : bug_class -> string
+
+val is_correctness : bug_class -> bool
+(** Durability, atomicity and ordering bugs corrupt recoverable state; the
+    rest waste cycles or memory but cannot lose data. *)
+
+type support = No | Yes | With_annotations | Conflated
+    (** How a tool supports a capability: natively, only with manual
+        annotations, or conflated with another class (pmemcheck and
+        PMDebugger report transient data as durability bugs). *)
+
+type tool_profile = {
+  tool : string;
+  coverage : (bug_class * support) list;
+      (** classes absent from the list are [No] *)
+  application_agnostic : bool;
+      (** no per-application annotations or drivers required *)
+  library_agnostic : bool;  (** not tied to one PM library's API *)
+}
+
+val table1 : tool_profile list
+(** Table 1, row by row: pmemcheck, PMTest, XFDetector, PMDebugger, Yat,
+    Jaaru, Agamotto, Witcher, Mumak. *)
+
+val support_to_string : support -> string
+(** ["Y"], ["Y*"] (annotations) or ["Y+"] (conflated); empty for [No]. *)
+
+val pp_table1 : Format.formatter -> unit -> unit
+(** Render the capability matrix as the paper formats it. *)

@@ -157,6 +157,19 @@ let finish t =
               (Printf.sprintf "slot %d written but its line is never flushed: PM used \
                                for transient data?" slot))
     t.slots;
-  List.rev t.findings
+  (* Deduplicate by (kind, seq): distinct slots of one cache line flushed by
+     the same instruction otherwise surface as several copies of the same
+     finding. Keep the first chronological occurrence so downstream stack
+     resolution anchors stay stable. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (r : raw) ->
+      let key = (r.kind, r.seq) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev t.findings)
 
 let event_count t = t.events

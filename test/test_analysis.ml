@@ -1,0 +1,318 @@
+(* Tests for the offline static analyzer (lib/analysis): dependency-graph
+   structural properties over generated and recorded traces, trace
+   serialization round-trips, the prioritizer's ordering guarantees, the
+   static-findings-vs-ground-truth differential, and the never-worse
+   prioritization differential against the unprioritized injection loop. *)
+
+let wl ?(ops = 250) ?(key_range = 60) () = Targets.standard_workload ~ops ~key_range ()
+
+let target_for ?version ?tx_mode name =
+  match Pmapps.Registry.find name with
+  | None -> Alcotest.failf "unknown app %s" name
+  | Some (module A : Pmapps.Kv_intf.S) ->
+      let version =
+        match version with
+        | Some v -> v
+        | None ->
+            if String.equal name "hashmap_atomic" then Pmalloc.Version.V1_6
+            else Pmalloc.Version.V1_12
+      in
+      Targets.of_app (module A) ~version ?tx_mode ~workload:(wl ()) ()
+
+(* One fully instrumented recording, mirroring the engine's internal
+   [record_trace]: stacks on every event, optional load tracing. *)
+let record ?(loads = false) (target : Mumak.Target.t) =
+  let device = Pmem.Device.create ~size:target.Mumak.Target.pool_size () in
+  if loads then Pmem.Device.trace_loads device true;
+  let tracer = Pmtrace.Tracer.create ~collect:true ~with_stacks:true device in
+  target.Mumak.Target.run ~device
+    ~framer:(Pmtrace.Framer.of_callstack (Pmtrace.Tracer.stack tracer));
+  Pmtrace.Tracer.detach tracer;
+  Pmtrace.Tracer.trace tracer
+
+(* --- dependency-graph structural properties --- *)
+
+let events_of_ops ops =
+  List.mapi (fun i op -> { Pmtrace.Event.seq = i + 1; op; stack = None }) ops
+
+(* a well-formed persist of slot [s]: store, flush its line, fence *)
+let persist_ops slot =
+  [
+    Pmem.Op.Store { addr = slot * 8; size = 8; nt = false };
+    Pmem.Op.Flush { kind = Pmem.Op.Clwb; line = slot * 8 / 64; dirty = true; volatile = false };
+    Pmem.Op.Fence { kind = Pmem.Op.Sfence; pending_flushes = 1; pending_nt = 0 };
+  ]
+
+(* a messier block: lone stores, loads, clean flushes, empty fences *)
+let block_ops (choice, slot) =
+  match choice mod 5 with
+  | 0 -> persist_ops slot
+  | 1 -> [ Pmem.Op.Store { addr = slot * 8; size = 8; nt = false } ]
+  | 2 -> [ Pmem.Op.Load { addr = slot * 8; size = 8 } ]
+  | 3 ->
+      [ Pmem.Op.Flush { kind = Pmem.Op.Clwb; line = slot * 8 / 64; dirty = false; volatile = false } ]
+  | _ -> [ Pmem.Op.Fence { kind = Pmem.Op.Sfence; pending_flushes = 0; pending_nt = 0 } ]
+
+let prop_graph_check_synthetic =
+  QCheck.Test.make ~name:"generated traces build structurally valid graphs" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 60) (pair (int_range 0 20) (int_range 0 50)))
+    (fun blocks ->
+      let g = Analysis.Dep_graph.build (events_of_ops (List.concat_map block_ops blocks)) in
+      Analysis.Dep_graph.check g = [])
+
+let test_graph_check_recorded () =
+  List.iter
+    (fun name ->
+      let trace = record ~loads:true (target_for name) in
+      let g = Analysis.Dep_graph.build (Pmtrace.Trace.to_list trace) in
+      Alcotest.(check (list string))
+        (name ^ " recorded-trace graph passes structural checks")
+        []
+        (Analysis.Dep_graph.check g))
+    [ "btree"; "hashmap_atomic" ]
+
+let test_graph_epochs_monotone () =
+  let trace = record ~loads:true (target_for "btree") in
+  let g = Analysis.Dep_graph.build (Pmtrace.Trace.to_list trace) in
+  let groups = Analysis.Dep_graph.epoch_groups g in
+  let epochs = List.map fst groups in
+  Alcotest.(check (list int)) "epoch groups ascend" (List.sort compare epochs) epochs;
+  Alcotest.(check bool) "a real workload persists something" true (Array.length g.Analysis.Dep_graph.nodes > 0)
+
+(* --- trace serialization --- *)
+
+let test_trace_roundtrip_recorded () =
+  List.iter
+    (fun loads ->
+      let trace = record ~loads (target_for "btree") in
+      let trace' = Pmtrace.Trace.deserialize (Pmtrace.Trace.serialize trace) in
+      Alcotest.(check int)
+        (Printf.sprintf "length preserved (loads=%b)" loads)
+        (Pmtrace.Trace.length trace) (Pmtrace.Trace.length trace');
+      Alcotest.(check bool)
+        (Printf.sprintf "events round-trip (loads=%b)" loads)
+        true
+        (List.for_all2
+           (fun (a : Pmtrace.Event.t) b -> a = b)
+           (Pmtrace.Trace.to_list trace) (Pmtrace.Trace.to_list trace')))
+    [ false; true ]
+
+let prop_trace_roundtrip_synthetic =
+  QCheck.Test.make ~name:"synthetic event streams round-trip through serialization" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair (int_range 0 20) (int_range 0 50)))
+    (fun blocks ->
+      let t = Pmtrace.Trace.create () in
+      List.iter (Pmtrace.Trace.add t) (events_of_ops (List.concat_map block_ops blocks));
+      Pmtrace.Trace.to_list (Pmtrace.Trace.deserialize (Pmtrace.Trace.serialize t))
+      = Pmtrace.Trace.to_list t)
+
+(* --- trace-analysis raw findings are unique per (kind, seq) --- *)
+
+let prop_ta_findings_unique =
+  QCheck.Test.make ~name:"trace-analysis raw findings are deduplicated by (kind, seq)" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (pair (int_range 0 20) (int_range 0 50)))
+    (fun blocks ->
+      let ta = Mumak.Trace_analysis.create Mumak.Config.default in
+      List.iter
+        (fun e -> Mumak.Trace_analysis.feed ta e)
+        (events_of_ops (List.concat_map block_ops blocks));
+      let raw = Mumak.Trace_analysis.finish ta in
+      let keys =
+        List.map (fun (r : Mumak.Trace_analysis.raw) -> (r.Mumak.Trace_analysis.kind, r.Mumak.Trace_analysis.seq)) raw
+      in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+(* --- prioritizer ordering guarantees --- *)
+
+let cap path op_index = { Pmtrace.Callstack.path; op_index }
+
+let points_gen =
+  (* ordinals 0..n-1 with strictly increasing first_seqs and tiny stacks *)
+  QCheck.Gen.(
+    list_size (int_range 1 40) (pair (int_range 1 5) (list_size (int_range 0 3) (string_size ~gen:(char_range 'a' 'e') (return 2))))
+    >|= fun raw ->
+    List.mapi
+      (fun i (gap, path) -> (i, (i * 7) + gap, cap path (i mod 5)))
+      raw)
+
+let windows_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 10)
+      (triple (int_range 0 300) (int_range 0 50) (oneofl [ 0; 10; 50; 100 ]))
+    >|= List.map (fun (lo, len, w) -> (lo, lo + len, w)))
+
+let arb_priority_input =
+  QCheck.make
+    QCheck.Gen.(
+      triple points_gen windows_gen
+        (list_size (int_range 0 3) (string_size ~gen:(char_range 'a' 'e') (return 2))))
+
+let prop_order_is_permutation =
+  QCheck.Test.make ~name:"priority order is a permutation of the ordinals" ~count:300
+    arb_priority_input
+    (fun (points, windows, hot_frames) ->
+      let order = Analysis.Prioritize.order ~hot_frames windows points in
+      List.sort compare order = List.sort compare (List.map (fun (o, _, _) -> o) points))
+
+let prop_order_identity_without_evidence =
+  QCheck.Test.make ~name:"no static evidence degrades to discovery order" ~count:300
+    (QCheck.make points_gen)
+    (fun points ->
+      Analysis.Prioritize.order [] points
+      = List.sort compare (List.map (fun (o, _, _) -> o) points))
+
+let prop_order_never_demotes_prioritized =
+  QCheck.Test.make
+    ~name:"a prioritized point is never later than in discovery order" ~count:300
+    arb_priority_input
+    (fun (points, windows, hot_frames) ->
+      let order = Analysis.Prioritize.order ~hot_frames windows points in
+      let scored = Analysis.Prioritize.score ~hot_frames windows points in
+      let position o l =
+        let rec go i = function
+          | [] -> assert false
+          | x :: tl -> if x = o then i else go (i + 1) tl
+        in
+        go 0 l
+      in
+      let baseline = List.sort compare (List.map (fun (o, _, _) -> o) points) in
+      List.for_all
+        (fun (s : Analysis.Prioritize.scored) ->
+          s.Analysis.Prioritize.score = 0
+          || position s.Analysis.Prioritize.ordinal order
+             <= position s.Analysis.Prioritize.ordinal baseline)
+        scored)
+
+(* --- static findings vs ground truth --- *)
+
+let static_config =
+  (* smaller mining effort than the default profile: the tests re-analyze
+     several targets and only need the subject run + one witness *)
+  { Mumak.Config.static_analysis with Mumak.Config.invariant_runs = 2 }
+
+let static_findings target =
+  let r = Mumak.Engine.analyze ~config:static_config target in
+  match r.Mumak.Engine.static with
+  | None -> Alcotest.fail "static config produced no static result"
+  | Some s -> (r, s.Analysis.Static.findings)
+
+let test_static_clean_no_durability () =
+  List.iter
+    (fun name ->
+      let _, findings = static_findings (target_for name) in
+      let durability =
+        List.filter (fun (f : Analysis.Static.finding) -> f.Analysis.Static.kind = Analysis.Static.Durability) findings
+      in
+      Alcotest.(check int)
+        (name ^ ": clean build has no static durability findings")
+        0 (List.length durability))
+    [ "btree"; "hashmap_atomic" ]
+
+let check_seeded_finding ~app ~bug ~kind () =
+  Bugreg.with_enabled [ bug ] (fun () ->
+      let _, findings = static_findings (target_for app) in
+      match
+        List.find_opt (fun (f : Analysis.Static.finding) -> f.Analysis.Static.kind = kind) findings
+      with
+      | None -> Alcotest.failf "%s: no static %s finding" bug (Analysis.Static.kind_to_string kind)
+      | Some f -> (
+          match f.Analysis.Static.fix with
+          | None -> Alcotest.failf "%s: finding carries no fix suggestion" bug
+          | Some fx ->
+              Alcotest.(check bool)
+                (bug ^ ": fix is anchored at a frame + ordinal")
+                true
+                (fx.Analysis.Fix.stack <> None)))
+
+let test_static_seeded_durability () =
+  check_seeded_finding ~app:"hashmap_atomic" ~bug:"hm_atomic_count_never_flushed"
+    ~kind:Analysis.Static.Durability ()
+
+let test_static_seeded_ordering () =
+  check_seeded_finding ~app:"hashmap_atomic" ~bug:"hm_atomic_link_before_persist"
+    ~kind:Analysis.Static.Ordering ()
+
+let test_static_same_correctness_bugs () =
+  (* the static phase must not change what fault injection + trace analysis
+     prove: correctness bugs of the combined report are identical with and
+     without it (static-only additions are warnings or fix-annotated
+     duplicates of the same findings) *)
+  List.iter
+    (fun bug ->
+      Bugreg.with_enabled [ bug ] (fun () ->
+          let base = Mumak.Engine.analyze ~config:Mumak.Config.faithful (target_for "btree") in
+          let stat = Mumak.Engine.analyze ~config:static_config (target_for "btree") in
+          let kinds r =
+            List.sort compare
+              (List.map (fun (f : Mumak.Report.finding) -> Mumak.Report.kind_to_string f.Mumak.Report.kind)
+                 (Mumak.Report.bugs r.Mumak.Engine.report))
+          in
+          Alcotest.(check (list string))
+            (bug ^ ": correctness bugs unchanged by the static phase")
+            (kinds base) (kinds stat)))
+    [ "btree_insert_no_tx"; "btree_count_outside_tx" ]
+
+(* --- invariant-guided prioritization differential --- *)
+
+let test_prioritized_never_worse () =
+  (* the bench-scale version of this differential runs the full seeded-bug
+     matrix; here a representative subset keeps the suite fast *)
+  List.iter
+    (fun (app, bug) ->
+      Bugreg.with_enabled [ bug ] (fun () ->
+          let target = target_for app in
+          let base = Mumak.Engine.analyze ~config:Mumak.Config.faithful target in
+          let pri = Mumak.Engine.analyze ~config:static_config target in
+          match (base.Mumak.Engine.first_bug_injection, pri.Mumak.Engine.first_bug_injection) with
+          | Some b, Some p ->
+              if p > b then
+                Alcotest.failf "%s: prioritized order reached the bug later (%d > %d)" bug p b
+          | None, Some p -> Alcotest.failf "%s: only the prioritized run found a bug (%d)" bug p
+          | Some b, None -> Alcotest.failf "%s: prioritized run lost the bug (baseline %d)" bug b
+          | None, None -> ()))
+    [
+      ("btree", "btree_insert_no_tx");
+      ("wort", "wort_link_uninitialized_node");
+      ("hashmap_tx", "hm_tx_head_no_snapshot");
+    ]
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "analysis"
+    [
+      ( "dep_graph",
+        [
+          qt prop_graph_check_synthetic;
+          Alcotest.test_case "recorded traces pass structural checks" `Quick
+            test_graph_check_recorded;
+          Alcotest.test_case "epoch groups are monotone" `Quick test_graph_epochs_monotone;
+        ] );
+      ( "trace_serialization",
+        [
+          Alcotest.test_case "recorded traces round-trip" `Quick test_trace_roundtrip_recorded;
+          qt prop_trace_roundtrip_synthetic;
+        ] );
+      ("trace_analysis", [ qt prop_ta_findings_unique ]);
+      ( "prioritize",
+        [
+          qt prop_order_is_permutation;
+          qt prop_order_identity_without_evidence;
+          qt prop_order_never_demotes_prioritized;
+        ] );
+      ( "static_differential",
+        [
+          Alcotest.test_case "clean builds: no static durability findings" `Quick
+            test_static_clean_no_durability;
+          Alcotest.test_case "seeded durability bug found with anchored fix" `Quick
+            test_static_seeded_durability;
+          Alcotest.test_case "seeded ordering bug found with anchored fix" `Quick
+            test_static_seeded_ordering;
+          Alcotest.test_case "correctness bugs unchanged by the static phase" `Quick
+            test_static_same_correctness_bugs;
+        ] );
+      ( "prioritized_injection",
+        [
+          Alcotest.test_case "never worse than discovery order" `Quick
+            test_prioritized_never_worse;
+        ] );
+    ]
