@@ -12,6 +12,71 @@ let section title =
   Fmt.pr "@.%s@.== %s@.%s@." line title line
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_<experiment>.json                   *)
+(* ------------------------------------------------------------------ *)
+
+(* MUMAK_BENCH_SMOKE=1 scales the instrumented experiments down (smaller
+   workloads, fewer configurations) so CI can exercise the full emit +
+   validate path in seconds. The flag is recorded in the output. *)
+let smoke = Sys.getenv_opt "MUMAK_BENCH_SMOKE" <> None
+
+(* Start an instrumented experiment: turn the collector on and discard
+   anything a previous experiment left buffered, so the dump written by
+   [write_bench] covers exactly this experiment's runs. *)
+let bench_telemetry_begin () =
+  Telemetry.Collector.enable ();
+  ignore (Telemetry.Collector.drain ())
+
+(* Envelope shared with `mumak validate`: schema "mumak.bench" version 1
+   with the experiment name, target, full Config, per-configuration result
+   rows, the telemetry counters/histograms of the experiment's runs, and
+   the report signature (so a regression in *what* was found, not just how
+   fast, is visible from the artifact alone). *)
+let write_bench ~experiment ~target ~config ~rows ~signature =
+  let dump = Telemetry.Collector.drain () in
+  let open Telemetry.Json in
+  let json =
+    Assoc
+      [
+        ("schema", String "mumak.bench");
+        ("version", Int 1);
+        ("experiment", String experiment);
+        ("target", String target);
+        ("smoke", Bool smoke);
+        ("config", Mumak.Config.to_json config);
+        ("rows", List rows);
+        ( "counters",
+          Assoc
+            (List.map
+               (fun (k, v) -> (k, Int v))
+               dump.Telemetry.Collector.counters) );
+        ( "histograms",
+          Assoc
+            (List.map
+               (fun (k, h) -> (k, Telemetry.Histogram.to_json h))
+               dump.Telemetry.Collector.histograms) );
+        ("report_signature", List (List.map (fun s -> String s) signature));
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" experiment in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string json);
+      output_char oc '\n');
+  Fmt.pr "@.machine-readable results: %s@." path
+
+let phase_metrics (r : Mumak.Engine.result) =
+  Telemetry.Json.Assoc
+    [
+      ("total", Mumak.Metrics.to_json r.Mumak.Engine.metrics);
+      ("fault_injection", Mumak.Metrics.to_json r.Mumak.Engine.fi_metrics);
+      ("trace_analysis", Mumak.Metrics.to_json r.Mumak.Engine.ta_metrics);
+      ("static_analysis", Mumak.Metrics.to_json r.Mumak.Engine.sa_metrics);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Table 1: taxonomy coverage matrix                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -501,7 +566,10 @@ let ablation () =
 
 let scaling () =
   section "Scaling: parallel fault injection (injections/sec vs Config.jobs)";
-  let wl = Workload.standard ~ops:250 ~key_range:60 ~seed:42L in
+  bench_telemetry_begin ();
+  let ops = if smoke then 100 else 250 in
+  let jobs_list = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let wl = Workload.standard ~ops ~key_range:60 ~seed:42L in
   let target =
     Targets.of_app (module Pmapps.Btree) ~version:Pmalloc.Version.V1_12 ~workload:wl ()
   in
@@ -512,6 +580,7 @@ let scaling () =
       Fmt.pr "%6s %10s %8s %8s %10s %9s %6s@." "jobs" "inject" "f.points" "execs"
         "inj/sec" "speedup" "bugs";
       let base = ref 0. in
+      let rows = ref [] and signature = ref [] in
       List.iter
         (fun jobs ->
           let config =
@@ -519,13 +588,39 @@ let scaling () =
           in
           let r = Mumak.Engine.analyze ~config target in
           let t = r.Mumak.Engine.fi_metrics.Mumak.Metrics.wall_seconds in
-          if jobs = 1 then base := t;
+          if jobs = 1 then begin
+            base := t;
+            signature := Mumak.Report.signature r.Mumak.Engine.report
+          end;
+          let inj_per_sec =
+            if t > 0. then float_of_int r.Mumak.Engine.injections /. t else 0.
+          in
+          let speedup = if t > 0. then !base /. t else 1. in
+          let bugs = List.length (Mumak.Report.bugs r.Mumak.Engine.report) in
           Fmt.pr "%6d %9.2fs %8d %8d %10.1f %8.2fx %6d@." jobs t
-            r.Mumak.Engine.failure_points r.Mumak.Engine.executions
-            (if t > 0. then float_of_int r.Mumak.Engine.injections /. t else 0.)
-            (if t > 0. then !base /. t else 1.)
-            (List.length (Mumak.Report.bugs r.Mumak.Engine.report)))
-        [ 1; 2; 4; 8 ];
+            r.Mumak.Engine.failure_points r.Mumak.Engine.executions inj_per_sec
+            speedup bugs;
+          rows :=
+            Telemetry.Json.Assoc
+              [
+                ("jobs", Telemetry.Json.Int jobs);
+                ("fi_wall_seconds", Telemetry.Json.Float t);
+                ("failure_points", Telemetry.Json.Int r.Mumak.Engine.failure_points);
+                ("injections", Telemetry.Json.Int r.Mumak.Engine.injections);
+                ("executions", Telemetry.Json.Int r.Mumak.Engine.executions);
+                ("injections_per_sec", Telemetry.Json.Float inj_per_sec);
+                ("speedup", Telemetry.Json.Float speedup);
+                ("bugs", Telemetry.Json.Int bugs);
+                ( "signature_matches_sequential",
+                  Telemetry.Json.Bool
+                    (Mumak.Report.signature r.Mumak.Engine.report = !signature) );
+                ("metrics", phase_metrics r);
+              ]
+            :: !rows)
+        jobs_list;
+      write_bench ~experiment:"scaling" ~target:target.Mumak.Target.name
+        ~config:{ Mumak.Config.faithful with Mumak.Config.resolve_stacks = false }
+        ~rows:(List.rev !rows) ~signature:!signature;
       Fmt.pr
         "@.expected shape: injections/sec scales with jobs up to the host's core count \
          (every injection is an independent re-execution -- embarrassingly parallel; \
@@ -616,31 +711,53 @@ let prioritized () =
   section
     "Invariant-guided failure-point prioritization: injections until the first \
      true-positive fault";
+  bench_telemetry_begin ();
   let bugs = Pmapps.Registry.all_bugs @ Pmalloc.Bugs.all @ Montage.Mt_alloc.bugs in
+  let bugs = if smoke then List.filteri (fun i _ -> i < 4) bugs else bugs in
   let show = function Some n -> string_of_int n | None -> "-" in
   Fmt.pr "%-30s %-14s %-12s %9s %12s@." "bug id" "component" "class" "baseline"
     "prioritized";
   let worse = ref [] in
+  let rows = ref [] and signature = ref [] in
   List.iter
     (fun (b : Bugreg.t) ->
       let target = coverage_target_for b in
-      let first config =
-        let result =
-          Bugreg.with_enabled [ b.Bugreg.id ] (fun () ->
-              Mumak.Engine.analyze ~config target)
-        in
-        result.Mumak.Engine.first_bug_injection
+      let analyze config =
+        Bugreg.with_enabled [ b.Bugreg.id ] (fun () ->
+            Mumak.Engine.analyze ~config target)
       in
-      let base = first Mumak.Config.faithful in
-      let pri = first Mumak.Config.static_analysis in
+      let base_r = analyze Mumak.Config.faithful in
+      let pri_r = analyze Mumak.Config.static_analysis in
+      let base = base_r.Mumak.Engine.first_bug_injection in
+      let pri = pri_r.Mumak.Engine.first_bug_injection in
+      signature := Mumak.Report.signature pri_r.Mumak.Engine.report;
       (match (base, pri) with
       | Some bn, Some pn when pn > bn -> worse := b.Bugreg.id :: !worse
       | Some _, None -> worse := b.Bugreg.id :: !worse
       | _ -> ());
+      let opt = function
+        | Some n -> Telemetry.Json.Int n
+        | None -> Telemetry.Json.Null
+      in
+      rows :=
+        Telemetry.Json.Assoc
+          [
+            ("bug_id", Telemetry.Json.String b.Bugreg.id);
+            ("component", Telemetry.Json.String b.Bugreg.component);
+            ( "class",
+              Telemetry.Json.String (Bugreg.taxonomy_to_string b.Bugreg.taxonomy) );
+            ("baseline_first_bug", opt base);
+            ("prioritized_first_bug", opt pri);
+            ("metrics", phase_metrics pri_r);
+          ]
+        :: !rows;
       Fmt.pr "%-30s %-14s %-12s %9s %12s@." b.Bugreg.id b.Bugreg.component
         (Bugreg.taxonomy_to_string b.Bugreg.taxonomy)
         (show base) (show pri))
     bugs;
+  write_bench ~experiment:"prioritized" ~target:"seeded-bug-matrix"
+    ~config:Mumak.Config.static_analysis ~rows:(List.rev !rows)
+    ~signature:!signature;
   (match !worse with
   | [] ->
       Fmt.pr

@@ -1,6 +1,9 @@
 (* The user-facing driver — the analogue of the Bash frontend of the
    original artifact. Analyse a named target with a generated workload and
-   print the combined bug report. *)
+   print the combined bug report.
+
+   Exit codes (scriptable contract): 0 = analysis ran and found no bugs,
+   1 = analysis ran and found bugs, 2 = usage or engine error. *)
 
 open Cmdliner
 
@@ -24,55 +27,83 @@ let build_target ~name ~version ~grouped ~workload =
           Targets.of_app m ~version ~tx_mode ~workload ())
         (Pmapps.Registry.find app)
 
+let usage_error fmt = Fmt.kstr (fun msg -> Fmt.epr "mumak: %s@." msg; exit 2) fmt
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
 let run name ops key_range seed version_str grouped strategy_str bugs no_warnings
-    store_level jobs static =
+    store_level jobs static trace_out metrics_out progress =
   let version =
     match version_str with
     | "1.6" -> Pmalloc.Version.V1_6
     | "1.8" -> Pmalloc.Version.V1_8
     | "1.12" -> Pmalloc.Version.V1_12
-    | v -> Fmt.failwith "unknown library version %s (1.6 | 1.8 | 1.12)" v
+    | v -> usage_error "unknown library version %s (1.6 | 1.8 | 1.12)" v
   in
   let workload = Workload.standard ~ops ~key_range ~seed:(Int64.of_int seed) in
   List.iter Bugreg.enable bugs;
   match build_target ~name ~version ~grouped ~workload with
   | None ->
-      Fmt.epr "unknown target %s; available: %a@." name
+      usage_error "unknown target %s; available: %a" name
         Fmt.(list ~sep:comma string)
-        registry_names;
-      exit 1
+        registry_names
   | Some target ->
+      let jobs = max 1 jobs in
       let strategy =
-        match strategy_str with
-        | "snapshot" -> Mumak.Config.Snapshot
-        | "reexecute" -> Mumak.Config.Reexecute
-        | s -> Fmt.failwith "unknown strategy %s (snapshot | reexecute)" s
+        (* --static needs the trace recordings and --jobs the partitionable
+           injection loop; both only exist under re-execution *)
+        if static || jobs > 1 then Mumak.Config.Reexecute
+        else
+          match strategy_str with
+          | "snapshot" -> Mumak.Config.Snapshot
+          | "reexecute" -> Mumak.Config.Reexecute
+          | s -> usage_error "unknown strategy %s (snapshot | reexecute)" s
       in
       let config =
         {
           Mumak.Config.default with
-          Mumak.Config.strategy = (if static then Mumak.Config.Reexecute else strategy);
+          Mumak.Config.strategy;
           report_warnings = not no_warnings;
           granularity =
             (if store_level then Mumak.Config.Store_level
              else Mumak.Config.Persistency_instruction);
           static;
           prioritize = static;
-          jobs = max 1 jobs;
+          jobs;
         }
       in
-      let result = Mumak.Engine.analyze ~config target in
+      if trace_out <> None || metrics_out <> None then Telemetry.Collector.enable ();
+      if progress then Telemetry.Progress.activate ();
+      let result =
+        try Mumak.Engine.analyze ~config target
+        with exn ->
+          Fmt.epr "mumak: engine error: %s@." (Printexc.to_string exn);
+          exit 2
+      in
+      if trace_out <> None || metrics_out <> None then begin
+        let dump = Telemetry.Collector.drain () in
+        Option.iter
+          (fun path -> write_file path (Telemetry.Chrome_trace.to_string dump))
+          trace_out;
+        Option.iter
+          (fun path -> write_file path (Telemetry.Jsonl.to_string dump))
+          metrics_out
+      end;
       Fmt.pr "%a@." Mumak.Engine.pp_result result;
-      (match (result.Mumak.Engine.static, result.Mumak.Engine.first_bug_injection) with
-      | Some s, first ->
+      (match result.Mumak.Engine.static with
+      | Some s ->
           Fmt.pr "static analysis: %d raw findings, %d hot windows over %d recordings@."
             (List.length s.Analysis.Static.findings)
             (List.length s.Analysis.Static.hot_windows)
-            s.Analysis.Static.runs;
-          Fmt.pr "first bug at injection: %s (invariant-guided order)@."
-            (match first with Some n -> string_of_int n | None -> "none found")
-      | None, _ -> ());
-      if Mumak.Report.bugs result.Mumak.Engine.report <> [] then exit 2
+            s.Analysis.Static.runs
+      | None -> ());
+      Fmt.pr "first bug at injection: %s@."
+        (match result.Mumak.Engine.first_bug_injection with
+        | Some n -> string_of_int n
+        | None -> "none found");
+      exit (if Mumak.Report.bugs result.Mumak.Engine.report <> [] then 1 else 0)
 
 let name_arg =
   let doc = "Target application to analyse." in
@@ -99,7 +130,7 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the re-execute injection loop (1 = sequential). \
-           Reports are identical for any N; only used with --strategy reexecute.")
+           Reports are identical for any N; N > 1 implies --strategy reexecute.")
 
 let static_arg =
   Arg.(
@@ -112,14 +143,44 @@ let static_arg =
            injection loop so statically-suspicious failure points are tried \
            first. Implies --strategy reexecute.")
 
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON timeline of the run to $(docv) \
+           (open with chrome://tracing or Perfetto): one track per worker \
+           domain plus the main pipeline track. Telemetry is collected only \
+           when this or --metrics-out is given and provably does not change \
+           the analysis result.")
+
+let metrics_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's spans, counters and latency histograms as \
+           append-friendly JSON Lines to $(docv) (versioned schema; first \
+           record is the header). See `mumak validate'.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Redraw a live one-line progress report on stderr (injections/sec, \
+           ETA, first-bug marker). Automatically silent when stderr is not a \
+           terminal.")
+
+let analyze_term =
+  Term.(
+    const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
+    $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg
+    $ jobs_arg $ static_arg $ trace_out_arg $ metrics_out_arg $ progress_arg)
+
 let analyze_cmd =
   let doc = "Detect crash-consistency and performance bugs in a PM application." in
-  Cmd.v
-    (Cmd.info "analyze" ~doc)
-    Term.(
-      const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
-      $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg
-      $ jobs_arg $ static_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) analyze_term
 
 let list_cmd =
   let doc = "List available targets and seeded bugs." in
@@ -132,6 +193,101 @@ let list_cmd =
           List.iter (fun b -> Fmt.pr "  %a@." Bugreg.pp b) (Bugreg.all ()))
       $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* validate: schema checks over the files mumak and bench emit         *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* BENCH_*.json envelope shared with bench/main.ml: schema "mumak.bench"
+   version 1, experiment/target strings, the full Config, and a list of
+   result rows. *)
+let validate_bench json =
+  let open Telemetry.Json in
+  let field k cast = Option.bind (member k json) cast in
+  let str k = field k to_string_opt in
+  match (str "schema", field "version" to_int_opt) with
+  | Some "mumak.bench", Some 1 -> (
+      match
+        (str "experiment", str "target", field "config" to_assoc_opt,
+         field "rows" to_list_opt)
+      with
+      | Some _, Some _, Some _, Some rows ->
+          Ok (Printf.sprintf "mumak.bench v1, %d row(s)" (List.length rows))
+      | None, _, _, _ -> Error "bench file: missing string field \"experiment\""
+      | _, None, _, _ -> Error "bench file: missing string field \"target\""
+      | _, _, None, _ -> Error "bench file: missing object field \"config\""
+      | _, _, _, None -> Error "bench file: missing list field \"rows\""
+      )
+  | Some "mumak.bench", Some v -> Error (Printf.sprintf "bench file: unknown version %d" v)
+  | _ -> Error "not a mumak.bench file"
+
+let is_jsonl contents =
+  (* JSONL: the first line is the self-identifying header record *)
+  let first_line =
+    match String.index_opt contents '\n' with
+    | Some i -> String.sub contents 0 i
+    | None -> contents
+  in
+  match Telemetry.Json.of_string first_line with
+  | Ok j ->
+      Option.bind (Telemetry.Json.member "schema" j) Telemetry.Json.to_string_opt
+      = Some Telemetry.Jsonl.schema_name
+  | Error _ -> false
+
+let validate_one path =
+  let contents = try Ok (read_file path) with Sys_error e -> Error e in
+  Result.bind contents (fun contents ->
+      let trimmed = String.trim contents in
+      if trimmed = "" then Error "empty file"
+      else if is_jsonl trimmed then
+        Result.map
+          (fun n -> Printf.sprintf "%s v%d, %d record(s)" Telemetry.Jsonl.schema_name
+               Telemetry.Jsonl.schema_version n)
+          (Telemetry.Jsonl.validate_string contents)
+      else
+        match Telemetry.Json.of_string trimmed with
+        | Error e -> Error (Printf.sprintf "JSON parse error: %s" e)
+        | Ok json -> (
+            match Telemetry.Json.member "traceEvents" json with
+            | None -> validate_bench json
+            | Some _ ->
+                Result.map
+                  (fun n -> Printf.sprintf "chrome trace, %d event(s)" n)
+                  (Telemetry.Chrome_trace.validate json)))
+
+let validate files =
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match validate_one path with
+      | Ok msg -> Fmt.pr "%s: OK (%s)@." path msg
+      | Error msg ->
+          failed := true;
+          Fmt.epr "%s: INVALID: %s@." path msg)
+    files;
+  exit (if !failed then 2 else 0)
+
+let validate_cmd =
+  let doc =
+    "Validate telemetry and benchmark output files (Chrome trace JSON from \
+     --trace-out, JSON Lines from --metrics-out, BENCH_*.json from the bench \
+     harness) against their schemas. Exits 2 on any malformed file."
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"File(s) to validate.")
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const validate $ files_arg)
+
 let () =
   let info = Cmd.info "mumak" ~doc:"Black-box bug detection for persistent memory" in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; list_cmd ]))
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group ~default:analyze_term info [ analyze_cmd; list_cmd; validate_cmd ])
+  with
+  | 0 -> exit 0
+  | _ -> exit 2 (* cmdliner usage/parse errors all map to the error code *)

@@ -73,6 +73,7 @@ let max_epoch_locs = 48
 let split_instance_cap = 16
 
 let mine ~support ~confidence graphs =
+  Telemetry.Collector.span ~cat:"static" "mine_invariants" @@ fun () ->
   (* ---- pointer-chase ordering invariants ---- *)
   let chase_tbl : (string * string, ordering_stat ref) Hashtbl.t = Hashtbl.create 64 in
   List.iteri

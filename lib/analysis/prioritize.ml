@@ -47,6 +47,7 @@ let score ?(hot_frames = []) windows points =
 (** [order ?hot_frames windows points] is the injection priority:
     prioritized points first, each block in discovery-ordinal order. *)
 let order ?hot_frames windows points =
+  Telemetry.Collector.span ~cat:"static" "prioritize" @@ fun () ->
   score ?hot_frames windows points
   |> List.sort (fun a b ->
          if a.score <> b.score then compare b.score a.score else compare a.ordinal b.ordinal)

@@ -72,6 +72,7 @@ let capture_str tbl p =
     the same deterministic workload. *)
 let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.Event.t list) list)
     =
+  Telemetry.Collector.span ~cat:"static" "analyze" @@ fun () ->
   assert (runs <> []);
   let stacks = List.map (fun (noload, _) -> index_stacks noload) runs in
   let graphs =

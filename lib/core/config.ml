@@ -76,6 +76,35 @@ let default =
     jobs = 1;
   }
 
+let granularity_name = function
+  | Persistency_instruction -> "persistency_instruction"
+  | Store_level -> "store_level"
+
+let strategy_name = function Snapshot -> "snapshot" | Reexecute -> "reexecute"
+
+(** Machine encoding of a configuration, embedded in bench results and
+    telemetry exports so a recorded run is reproducible from its output
+    alone. *)
+let to_json t =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("granularity", String (granularity_name t.granularity));
+      ("strategy", String (strategy_name t.strategy));
+      ("report_warnings", Bool t.report_warnings);
+      ("resolve_stacks", Bool t.resolve_stacks);
+      ("detect_dirty_overwrites", Bool t.detect_dirty_overwrites);
+      ("eadr", Bool t.eadr);
+      ( "max_failure_points",
+        match t.max_failure_points with None -> Null | Some n -> Int n );
+      ("static", Bool t.static);
+      ("prioritize", Bool t.prioritize);
+      ("invariant_runs", Int t.invariant_runs);
+      ("invariant_support", Int t.invariant_support);
+      ("invariant_confidence", Float t.invariant_confidence);
+      ("jobs", Int t.jobs);
+    ]
+
 (** [default] plus the full static pipeline: dependency-graph analysis,
     invariant mining, fix suggestions and invariant-guided prioritization
     of the re-execution injection loop. *)

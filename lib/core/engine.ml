@@ -91,9 +91,11 @@ let analyze ?(config = Config.default) (target : Target.t) =
   let static_result, priority, sa_metrics, static_executions =
     if not config.Config.static then (None, None, Metrics.zero, 0)
     else begin
+      Telemetry.Progress.phase "static";
       let runs = max 1 config.Config.invariant_runs in
       let (recordings, static_r), sa_metrics =
         Metrics.measure (fun () ->
+            Telemetry.Collector.span ~cat:"phase" "static_analysis" @@ fun () ->
             let recordings =
               List.init runs (fun _ ->
                   let noload = record_trace ~loads:false ~eadr:config.Config.eadr target in
@@ -129,10 +131,20 @@ let analyze ?(config = Config.default) (target : Target.t) =
             (* the snapshot strategy's single execution also produced the
                trace; its device counters are the real store/flush/fence
                totals of the instrumented run *)
-            Fault_injection.inject_snapshot ~extra_listener:ta_feed config target
+            Telemetry.Progress.phase "inject";
+            Telemetry.Collector.span ~cat:"phase" "fault_injection" (fun () ->
+                Fault_injection.inject_snapshot ~extra_listener:ta_feed config target)
         | Config.Reexecute ->
-            let tree, stats = Fault_injection.build_tree ~extra_listener:ta_feed config target in
-            (Fault_injection.inject_reexecute ?priority config target tree, stats))
+            Telemetry.Progress.phase "build-tree";
+            let tree, stats =
+              Telemetry.Collector.span ~cat:"phase" "build_tree" (fun () ->
+                  Fault_injection.build_tree ~extra_listener:ta_feed config target)
+            in
+            Telemetry.Progress.set_total (Fp_tree.size tree);
+            Telemetry.Progress.phase "inject";
+            ( Telemetry.Collector.span ~cat:"phase" "injection" (fun () ->
+                  Fault_injection.inject_reexecute ?priority config target tree),
+              stats ))
   in
   (* GC counters are domain-local: fold what the injection workers
      allocated into the phase total measured on this domain. *)
@@ -140,11 +152,20 @@ let analyze ?(config = Config.default) (target : Target.t) =
     Metrics.absorb_workers fi_phase fi_result.Fault_injection.worker_metrics
   in
   (* Phase 3: close the streaming trace analysis. *)
-  let raw_findings, ta_metrics = Metrics.measure (fun () -> Trace_analysis.finish ta) in
+  Telemetry.Progress.phase "trace-analysis";
+  let raw_findings, ta_metrics =
+    Metrics.measure (fun () ->
+        Telemetry.Collector.span ~cat:"phase" "trace_analysis" (fun () ->
+            Trace_analysis.finish ta))
+  in
   (* Attach stacks to trace findings (one extra minimal execution). *)
   let resolved =
-    if config.Config.resolve_stacks then
-      resolve_stacks target ~wanted:(List.map (fun r -> r.Trace_analysis.seq) raw_findings)
+    if config.Config.resolve_stacks then begin
+      Telemetry.Progress.phase "resolve-stacks";
+      Telemetry.Collector.span ~cat:"phase" "resolve_stacks" (fun () ->
+          resolve_stacks target
+            ~wanted:(List.map (fun r -> r.Trace_analysis.seq) raw_findings))
+    end
     else Hashtbl.create 0
   in
   (* Combine: fault-injection bugs first, then static findings (so the
@@ -187,24 +208,38 @@ let analyze ?(config = Config.default) (target : Target.t) =
                fix = None;
              }))
     raw_findings;
-  {
-    report;
-    failure_points = Fp_tree.size fi_result.Fault_injection.tree;
-    injections = List.length fi_result.Fault_injection.records;
-    executions =
-      fi_result.Fault_injection.executions
-      + (if config.Config.resolve_stacks then 1 else 0)
-      + static_executions;
-    trace_events = Trace_analysis.event_count ta;
-    pm_stats;
-    metrics = Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics;
-    fi_metrics;
-    ta_metrics;
-    sa_metrics;
-    static = static_result;
-    first_bug_injection = Fault_injection.injections_to_first_bug fi_result;
-    worker_metrics = fi_result.Fault_injection.worker_metrics;
-  }
+  let result =
+    {
+      report;
+      failure_points = Fp_tree.size fi_result.Fault_injection.tree;
+      injections = List.length fi_result.Fault_injection.records;
+      executions =
+        fi_result.Fault_injection.executions
+        + (if config.Config.resolve_stacks then 1 else 0)
+        + static_executions;
+      trace_events = Trace_analysis.event_count ta;
+      pm_stats;
+      metrics = Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics;
+      fi_metrics;
+      ta_metrics;
+      sa_metrics;
+      static = static_result;
+      first_bug_injection = Fault_injection.injections_to_first_bug fi_result;
+      worker_metrics = fi_result.Fault_injection.worker_metrics;
+    }
+  in
+  (* Pipeline-level counters, so the exported telemetry is a self-contained
+     record of the run ("trace.events" — raw events across all executions —
+     comes from the tracer itself). *)
+  Telemetry.Collector.count "fp.discovered" result.failure_points;
+  Telemetry.Collector.count "injections" result.injections;
+  Telemetry.Collector.count "executions" result.executions;
+  Telemetry.Collector.count "ta.events" result.trace_events;
+  Telemetry.Collector.count "pm.stores" pm_stats.Pmem.Stats.stores;
+  Telemetry.Collector.count "pm.flushes" (Pmem.Stats.flushes pm_stats);
+  Telemetry.Collector.count "pm.fences" (Pmem.Stats.fences pm_stats);
+  Telemetry.Progress.finish ();
+  result
 
 let pp_result ppf r =
   Fmt.pf ppf "%a@.failure points: %d, injections: %d, executions: %d, trace events: %d@.%a@."

@@ -109,7 +109,11 @@ let build_tree ?(extra_listener = fun _ _ -> ()) config (target : Target.t) =
   let tracer = Pmtrace.Tracer.create ~collect:false device in
   let detect =
     fp_listener ~granularity:config.Config.granularity ~on_fp:(fun capture ->
-        if under_cap config tree then ignore (Fp_tree.insert tree capture))
+        if under_cap config tree then ignore (Fp_tree.insert tree capture)
+        else
+          (* dynamic failure-point occurrences suppressed by
+             [max_failure_points] — nonzero means coverage was capped *)
+          Telemetry.Collector.count "fp.pruned_by_cap" 1)
   in
   Pmtrace.Tracer.add_listener tracer (fun event stack ->
       extra_listener event stack;
@@ -122,6 +126,7 @@ let build_tree ?(extra_listener = fun _ _ -> ()) config (target : Target.t) =
    Returns the injected point and its crash image, or None if every
    failure point reached was already visited. *)
 let reexecute_once config (target : Target.t) tree =
+  Telemetry.Collector.span ~cat:"inject" ~hist:"injection_exec_ns" "exec" @@ fun () ->
   let device = Pmem.Device.create ~eadr:config.Config.eadr ~size:target.Target.pool_size () in
   let tracer = Pmtrace.Tracer.create ~collect:false device in
   let injected = ref None in
@@ -134,7 +139,12 @@ let reexecute_once config (target : Target.t) tree =
                (* the image is captured here, before the crash unwinds, so
                   cleanup code cannot pollute the post-failure state *)
                injected :=
-                 Some (point, Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix);
+                 Some
+                   ( point,
+                     Telemetry.Collector.span ~cat:"inject" ~hist:"crash_image_ns"
+                       ~args:[ ("ordinal", Telemetry.Json.Int point.Fp_tree.ordinal) ]
+                       "crash_image" (fun () ->
+                         Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix) );
                raise Crash_now
            | Some _ | None -> ()));
   (try
@@ -160,7 +170,14 @@ let reexecute_loop config (target : Target.t) tree =
     match reexecute_once config target tree with
     | None -> continue_ := false (* nondeterminism guard: no progress *)
     | Some (point, image) ->
-        let oracle = Oracle.classify target.Target.recover (Pmem.Device.of_image ~eadr:config.Config.eadr image) in
+        let oracle =
+          Telemetry.Collector.span ~cat:"inject" ~hist:"oracle_ns" "oracle"
+            ~args:[ ("ordinal", Telemetry.Json.Int point.Fp_tree.ordinal) ]
+            (fun () ->
+              Oracle.classify target.Target.recover
+                (Pmem.Device.of_image ~eadr:config.Config.eadr image))
+        in
+        Telemetry.Progress.tick ~bug:(Oracle.is_bug oracle) ();
         records := { point; oracle } :: !records
   done;
   (List.rev !records, !executions)
@@ -171,6 +188,10 @@ let reexecute_loop config (target : Target.t) tree =
    unprioritized loop crashes at when that point's turn comes, which is why
    prioritization can only reorder findings, never change them. *)
 let reexecute_at config (target : Target.t) tree ~ordinal =
+  Telemetry.Collector.span ~cat:"inject" ~hist:"injection_exec_ns"
+    ~args:[ ("ordinal", Telemetry.Json.Int ordinal) ]
+    "exec"
+  @@ fun () ->
   let device = Pmem.Device.create ~eadr:config.Config.eadr ~size:target.Target.pool_size () in
   let tracer = Pmtrace.Tracer.create ~collect:false device in
   let injected = ref None in
@@ -181,7 +202,12 @@ let reexecute_at config (target : Target.t) tree ~ordinal =
            | Some point when point.Fp_tree.ordinal = ordinal && not point.Fp_tree.visited ->
                point.Fp_tree.visited <- true;
                injected :=
-                 Some (point, Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix);
+                 Some
+                   ( point,
+                     Telemetry.Collector.span ~cat:"inject" ~hist:"crash_image_ns"
+                       ~args:[ ("ordinal", Telemetry.Json.Int ordinal) ]
+                       "crash_image" (fun () ->
+                         Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix) );
                raise Crash_now
            | Some _ | None -> ()));
   (try
@@ -212,12 +238,18 @@ let reexecute_priority config (target : Target.t) tree order =
       | Some _ -> (
           incr executions;
           match reexecute_at config target tree ~ordinal with
-          | None -> () (* nondeterminism: the point was not reached this run *)
+          | None ->
+              (* nondeterminism: the point was not reached this run *)
+              Telemetry.Collector.count "fp.unreached" 1
           | Some (point, image) ->
               let oracle =
-                Oracle.classify target.Target.recover
-                  (Pmem.Device.of_image ~eadr:config.Config.eadr image)
+                Telemetry.Collector.span ~cat:"inject" ~hist:"oracle_ns" "oracle"
+                  ~args:[ ("ordinal", Telemetry.Json.Int point.Fp_tree.ordinal) ]
+                  (fun () ->
+                    Oracle.classify target.Target.recover
+                      (Pmem.Device.of_image ~eadr:config.Config.eadr image))
               in
+              Telemetry.Progress.tick ~bug:(Oracle.is_bug oracle) ();
               records := { point; oracle } :: !records))
     order;
   let stragglers, extra = reexecute_loop config target tree in
@@ -332,15 +364,27 @@ let inject_snapshot ?(extra_listener = fun _ _ -> ()) config (target : Target.t)
   let tracer = Pmtrace.Tracer.create ~collect:false device in
   let detect =
     fp_listener ~granularity:config.Config.granularity ~on_fp:(fun capture ->
-        if under_cap config tree then
+        if not (under_cap config tree) then
+          Telemetry.Collector.count "fp.pruned_by_cap" 1
+        else
           match Fp_tree.insert tree capture with
           | `Existing _ -> ()
           | `Added point ->
               point.Fp_tree.visited <- true;
-              let image = Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix in
-              let oracle =
-                Oracle.classify target.Target.recover (Pmem.Device.of_image ~eadr:config.Config.eadr image)
+              let image =
+                Telemetry.Collector.span ~cat:"inject" ~hist:"crash_image_ns"
+                  ~args:[ ("ordinal", Telemetry.Json.Int point.Fp_tree.ordinal) ]
+                  "crash_image" (fun () ->
+                    Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix)
               in
+              let oracle =
+                Telemetry.Collector.span ~cat:"inject" ~hist:"oracle_ns" "oracle"
+                  ~args:[ ("ordinal", Telemetry.Json.Int point.Fp_tree.ordinal) ]
+                  (fun () ->
+                    Oracle.classify target.Target.recover
+                      (Pmem.Device.of_image ~eadr:config.Config.eadr image))
+              in
+              Telemetry.Progress.tick ~bug:(Oracle.is_bug oracle) ();
               records := { point; oracle } :: !records)
   in
   Pmtrace.Tracer.add_listener tracer (fun event stack ->

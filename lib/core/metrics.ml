@@ -14,20 +14,28 @@ type t = {
 
 let cpu_load t = if t.wall_seconds > 0. then t.cpu_seconds /. t.wall_seconds else 0.
 
+(* Wall time comes from the monotonic clock ([Telemetry.Clock], backed by
+   clock_gettime(CLOCK_MONOTONIC)), so an NTP step during a measured
+   section cannot produce negative or absurd phase times. On platforms
+   without CLOCK_MONOTONIC the clock falls back to wall time
+   (Clock.is_monotonic = false) and elapsed_s clamps at 0, which is the
+   documented degradation. Allocation counters are clamped at 0 like
+   heap_growth_words: Gc.allocated_bytes is monotonic per domain, but the
+   clamp keeps the invariant explicit and future-proof. *)
 let measure f =
-  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+  let wall0 = Telemetry.Clock.now_ns () and cpu0 = Sys.time () in
   let alloc0 = Gc.allocated_bytes () in
   let heap0 = (Gc.quick_stat ()).Gc.heap_words in
   let result = f () in
-  let wall = Unix.gettimeofday () -. wall0 in
+  let wall = Telemetry.Clock.elapsed_s wall0 (Telemetry.Clock.now_ns ()) in
   let cpu = Sys.time () -. cpu0 in
   let alloc = Gc.allocated_bytes () -. alloc0 in
   let heap = (Gc.quick_stat ()).Gc.heap_words - heap0 in
   ( result,
     {
       wall_seconds = wall;
-      cpu_seconds = cpu;
-      allocated_bytes = alloc;
+      cpu_seconds = Float.max 0. cpu;
+      allocated_bytes = Float.max 0. alloc;
       heap_growth_words = max 0 heap;
     } )
 
@@ -57,8 +65,20 @@ let absorb_workers phase workers =
     heap_growth_words = phase.heap_growth_words + w.heap_growth_words;
   }
 
+(** Machine encoding of a measurement; {!pp} renders these same fields, so
+    the human-readable result line and the bench/JSONL emitters cannot
+    drift. *)
+let to_json t =
+  Telemetry.Json.Assoc
+    [
+      ("wall_seconds", Telemetry.Json.Float t.wall_seconds);
+      ("cpu_seconds", Telemetry.Json.Float t.cpu_seconds);
+      ("cpu_load", Telemetry.Json.Float (cpu_load t));
+      ("allocated_bytes", Telemetry.Json.Float t.allocated_bytes);
+      ("heap_growth_words", Telemetry.Json.Int t.heap_growth_words);
+    ]
+
 let pp ppf t =
-  Fmt.pf ppf "wall=%.3fs cpu=%.3fs load=%.2f alloc=%.1fMB heap+=%.1fMB" t.wall_seconds
-    t.cpu_seconds (cpu_load t)
-    (t.allocated_bytes /. 1048576.)
-    (float_of_int (t.heap_growth_words * 8) /. 1048576.)
+  match to_json t with
+  | Telemetry.Json.Assoc fields -> Telemetry.Json.pp_kv ppf fields
+  | _ -> assert false

@@ -56,9 +56,27 @@ let merge_all = function [] -> create () | s :: rest -> List.fold_left merge s r
 let flushes t = t.clflush + t.clflushopt + t.clwb
 let fences t = t.sfence + t.mfence + t.rmw
 
+(** Machine encoding of the device counters; {!pp} renders these same
+    fields, so human and machine output cannot drift. *)
+let to_json t =
+  Telemetry.Json.Assoc
+    [
+      ("stores", Telemetry.Json.Int t.stores);
+      ("nt_stores", Telemetry.Json.Int t.nt_stores);
+      ("loads", Telemetry.Json.Int t.loads);
+      ("clflush", Telemetry.Json.Int t.clflush);
+      ("clflushopt", Telemetry.Json.Int t.clflushopt);
+      ("clwb", Telemetry.Json.Int t.clwb);
+      ("sfence", Telemetry.Json.Int t.sfence);
+      ("mfence", Telemetry.Json.Int t.mfence);
+      ("rmw", Telemetry.Json.Int t.rmw);
+      ("flushes", Telemetry.Json.Int (flushes t));
+      ("fences", Telemetry.Json.Int (fences t));
+      ("bytes_written", Telemetry.Json.Int t.bytes_written);
+      ("high_water_mark", Telemetry.Json.Int t.high_water_mark);
+    ]
+
 let pp ppf t =
-  Fmt.pf ppf
-    "stores=%d nt=%d loads=%d clflush=%d clflushopt=%d clwb=%d sfence=%d mfence=%d \
-     rmw=%d bytes=%d hwm=%d"
-    t.stores t.nt_stores t.loads t.clflush t.clflushopt t.clwb t.sfence t.mfence t.rmw
-    t.bytes_written t.high_water_mark
+  match to_json t with
+  | Telemetry.Json.Assoc fields -> Telemetry.Json.pp_kv ppf fields
+  | _ -> assert false

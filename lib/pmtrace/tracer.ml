@@ -43,7 +43,11 @@ let trace t = t.trace
 let stack t = t.stack
 let seq t = t.seq
 
-let detach t = Pmem.Device.set_hook t.device None
+let detach t =
+  (* raw instrumented events this tracer saw, summed over all executions of
+     a run (the engine's "ta.events" counts trace-analysis input only) *)
+  Telemetry.Collector.count "trace.events" t.seq;
+  Pmem.Device.set_hook t.device None
 
 let add_listener t l = t.listeners <- t.listeners @ [ l ]
 

@@ -1,0 +1,101 @@
+(** Chrome trace-event exporter: renders a {!Collector.dump} as the JSON
+    object format loadable in Perfetto / [about://tracing].
+
+    Every span becomes one complete ("ph":"X") event with microsecond
+    timestamps rebased on the dump's earliest span; every track (= domain)
+    becomes one thread lane, named through "M" metadata events — "main"
+    for the enabling domain, "worker N" for the injection workers, so a
+    [-j 4] run shows four worker lanes under the main pipeline lane. *)
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+let track_names (d : Collector.dump) =
+  let tracks =
+    List.sort_uniq compare (List.map (fun (s : Span.t) -> s.Span.track) d.Collector.spans)
+  in
+  let worker = ref 0 in
+  List.map
+    (fun t ->
+      if t = d.Collector.dump_main_track then (t, "main")
+      else begin
+        incr worker;
+        (t, Printf.sprintf "worker %d" !worker)
+      end)
+    tracks
+
+let to_json (d : Collector.dump) =
+  let meta =
+    Json.Assoc
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("ts", Json.Int 0);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Assoc [ ("name", Json.String "mumak") ]);
+      ]
+    :: List.map
+         (fun (track, label) ->
+           Json.Assoc
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("ts", Json.Int 0);
+               ("pid", Json.Int 1);
+               ("tid", Json.Int track);
+               ("args", Json.Assoc [ ("name", Json.String label) ]);
+             ])
+         (track_names d)
+  in
+  let events =
+    List.map
+      (fun (s : Span.t) ->
+        Json.Assoc
+          [
+            ("name", Json.String s.Span.name);
+            ("cat", Json.String (if s.Span.cat = "" then "mumak" else s.Span.cat));
+            ("ph", Json.String "X");
+            ("ts", Json.Float (us_of_ns (s.Span.start_ns - d.Collector.base_ns)));
+            ("dur", Json.Float (us_of_ns s.Span.dur_ns));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int s.Span.track);
+            ("args", Json.Assoc s.Span.args);
+          ])
+      d.Collector.spans
+  in
+  Json.Assoc
+    [
+      ("traceEvents", Json.List (meta @ events));
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", Json.Assoc [ ("clock", Json.String Clock.source) ]);
+    ]
+
+let to_string d = Json.to_string (to_json d)
+
+(** Structural validity of an (already parsed) trace file: a top-level
+    object with a [traceEvents] array whose members all carry the [ph] /
+    [ts] / [pid] / [tid] fields the trace-event format requires. Used by
+    the tests and the CI telemetry-validation step. *)
+let validate (json : Json.t) : (int, string) result =
+  match Json.member "traceEvents" json with
+  | None -> Error "missing traceEvents"
+  | Some events -> (
+      match Json.to_list_opt events with
+      | None -> Error "traceEvents is not an array"
+      | Some events ->
+          let bad =
+            List.find_map
+              (fun ev ->
+                let has_string f = Option.bind (Json.member f ev) Json.to_string_opt in
+                let has_num f = Option.bind (Json.member f ev) Json.to_float_opt in
+                if has_string "ph" = None then Some "event without ph"
+                else if has_num "ts" = None then Some "event without numeric ts"
+                else if has_num "pid" = None then Some "event without pid"
+                else if has_num "tid" = None then Some "event without tid"
+                else if has_string "name" = None then Some "event without name"
+                else None)
+              events
+          in
+          (match bad with
+          | Some msg -> Error msg
+          | None -> Ok (List.length events)))

@@ -1,0 +1,23 @@
+(** Monotonic clock (nanoseconds since an arbitrary epoch).
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through a tiny C stub; on
+    platforms without [CLOCK_MONOTONIC] the stub silently degrades to the
+    wall clock ([gettimeofday]) and {!is_monotonic} reports [false] so the
+    degradation is visible in exported telemetry headers. *)
+
+external now_ns_i64 : unit -> int64 = "mumak_clock_now_ns"
+
+external is_monotonic_stub : unit -> bool = "mumak_clock_is_monotonic"
+
+let is_monotonic = is_monotonic_stub ()
+
+(** Nanoseconds as a native [int]. 63-bit nanoseconds overflow after
+    ~292 years of uptime, so the conversion is safe. *)
+let now_ns () = Int64.to_int (now_ns_i64 ())
+
+(** [elapsed_s t0 t1] is the span [t1 - t0] in seconds, clamped at 0 (the
+    clamp only matters under the wall-clock fallback, where an NTP step
+    could otherwise produce a negative duration). *)
+let elapsed_s t0 t1 = Float.max 0. (float_of_int (t1 - t0) /. 1e9)
+
+let source = if is_monotonic then "monotonic" else "wall"

@@ -1,0 +1,43 @@
+/* Monotonic time source for the telemetry layer.
+ *
+ * OCaml's Unix module exposes only gettimeofday (wall clock), which NTP
+ * steps can move backwards; span durations and Metrics.measure need a
+ * clock that never does. CLOCK_MONOTONIC is POSIX; if the platform lacks
+ * it we fall back to the wall clock and report the fact through
+ * mumak_clock_is_monotonic so callers can document the degradation. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+#include <sys/time.h>
+
+static int64_t mumak_now_ns(void)
+{
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+  }
+}
+
+CAMLprim value mumak_clock_now_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(mumak_now_ns());
+}
+
+CAMLprim value mumak_clock_is_monotonic(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}

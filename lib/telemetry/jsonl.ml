@@ -1,0 +1,117 @@
+(** Append-only JSONL event log with a versioned schema.
+
+    Line 1 is a header record carrying the schema name and version; every
+    following line is one self-describing record ([type] field): spans,
+    final counter values, histogram summaries. The format is the
+    machine-readable twin of the Chrome trace — grep/jq-friendly, and
+    validated structurally by {!validate_string} (the same check CI runs
+    on emitted files). *)
+
+let schema_name = "mumak.telemetry"
+let schema_version = 1
+
+let header () =
+  Json.Assoc
+    [
+      ("type", Json.String "header");
+      ("schema", Json.String schema_name);
+      ("version", Json.Int schema_version);
+      ("clock", Json.String Clock.source);
+    ]
+
+let records (d : Collector.dump) =
+  header ()
+  :: List.map Span.to_json d.Collector.spans
+  @ List.map
+      (fun (name, v) ->
+        Json.Assoc
+          [ ("type", Json.String "counter"); ("name", Json.String name);
+            ("value", Json.Int v) ])
+      d.Collector.counters
+  @ List.map
+      (fun (name, h) ->
+        match Histogram.to_json h with
+        | Json.Assoc fields ->
+            Json.Assoc
+              (("type", Json.String "histogram") :: ("name", Json.String name) :: fields)
+        | other -> other)
+      d.Collector.histograms
+
+let to_string d =
+  String.concat "" (List.map (fun r -> Json.to_string r ^ "\n") (records d))
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let required_int record field =
+  match Option.bind (Json.member field record) Json.to_int_opt with
+  | Some _ -> Ok ()
+  | None -> Error (Printf.sprintf "missing integer field %S" field)
+
+let required_string record field =
+  match Option.bind (Json.member field record) Json.to_string_opt with
+  | Some _ -> Ok ()
+  | None -> Error (Printf.sprintf "missing string field %S" field)
+
+let ( let* ) = Result.bind
+
+let validate_record record =
+  match Option.bind (Json.member "type" record) Json.to_string_opt with
+  | None -> Error "record without a type field"
+  | Some "span" ->
+      let* () = required_int record "id" in
+      let* () = required_int record "track" in
+      let* () = required_string record "name" in
+      let* () = required_string record "cat" in
+      let* () = required_int record "ts_ns" in
+      let* () = required_int record "dur_ns" in
+      (match Json.member "parent" record with
+      | Some (Json.Int _) | Some Json.Null -> Ok ()
+      | _ -> Error "span parent must be an integer or null")
+  | Some "counter" ->
+      let* () = required_string record "name" in
+      required_int record "value"
+  | Some "histogram" ->
+      let* () = required_string record "name" in
+      let* () = required_int record "count" in
+      let* () = required_int record "sum_ns" in
+      (match Option.bind (Json.member "buckets" record) Json.to_list_opt with
+      | None -> Error "histogram without a buckets array"
+      | Some _ -> Ok ())
+  | Some other -> Error (Printf.sprintf "unknown record type %S" other)
+
+(** Validate a whole JSONL document: a header line with the right schema
+    name and version, then well-formed records. Returns the number of
+    data records. *)
+let validate_string (doc : string) : (int, string) result =
+  let lines =
+    String.split_on_char '\n' doc |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty telemetry log"
+  | first :: rest -> (
+      match Json.of_string first with
+      | Error msg -> Error (Printf.sprintf "header: %s" msg)
+      | Ok h -> (
+          match
+            ( Option.bind (Json.member "type" h) Json.to_string_opt,
+              Option.bind (Json.member "schema" h) Json.to_string_opt,
+              Option.bind (Json.member "version" h) Json.to_int_opt )
+          with
+          | Some "header", Some s, Some v when s = schema_name && v = schema_version ->
+              let rec check i = function
+                | [] -> Ok (i - 2) (* i is a 1-based line number; data starts on line 2 *)
+                | line :: rest -> (
+                    match Json.of_string line with
+                    | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)
+                    | Ok record -> (
+                        match validate_record record with
+                        | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)
+                        | Ok () -> check (i + 1) rest))
+              in
+              check 2 rest
+          | Some "header", Some s, Some v ->
+              Error (Printf.sprintf "unsupported schema %s/%d (want %s/%d)" s v schema_name
+                       schema_version)
+          | _ -> Error "first line is not a telemetry header"))

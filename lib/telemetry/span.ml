@@ -1,0 +1,78 @@
+(** A completed span: one named, timed section of work on one track
+    (track = the integer id of the domain that executed it), threaded to
+    its parent span when it ran nested inside one. *)
+
+type t = {
+  id : int;  (** unique across the dump: [(track lsl 30) lor local] *)
+  parent : int option;  (** enclosing span on the same track *)
+  track : int;  (** domain id; one Chrome-trace thread lane per track *)
+  name : string;
+  cat : string;
+  start_ns : int;
+  dur_ns : int;
+  args : (string * Json.t) list;
+}
+
+(** Structural well-formedness of a span dump — the property the qcheck
+    tests drive: ids are unique, every recorded end had a matching begin
+    (a parent id that exists in the dump), parents run on the same track
+    as their children, and every child's interval is contained in its
+    parent's. *)
+let well_formed (spans : t list) : (unit, string) result =
+  let by_id = Hashtbl.create (List.length spans) in
+  let dup =
+    List.find_opt
+      (fun s ->
+        if Hashtbl.mem by_id s.id then true
+        else begin
+          Hashtbl.replace by_id s.id s;
+          false
+        end)
+      spans
+  in
+  match dup with
+  | Some s -> Error (Printf.sprintf "duplicate span id %d (%s)" s.id s.name)
+  | None ->
+      let bad =
+        List.find_map
+          (fun s ->
+            if s.dur_ns < 0 then
+              Some (Printf.sprintf "span %s has negative duration" s.name)
+            else
+              match s.parent with
+              | None -> None
+              | Some pid -> (
+                  match Hashtbl.find_opt by_id pid with
+                  | None ->
+                      Some
+                        (Printf.sprintf "span %s ends without a recorded begin for parent %d"
+                           s.name pid)
+                  | Some p ->
+                      if p.track <> s.track then
+                        Some
+                          (Printf.sprintf "span %s crosses tracks (%d inside %d)" s.name
+                             s.track p.track)
+                      else if
+                        s.start_ns < p.start_ns
+                        || s.start_ns + s.dur_ns > p.start_ns + p.dur_ns
+                      then
+                        Some
+                          (Printf.sprintf "span %s escapes its parent %s" s.name p.name)
+                      else None))
+          spans
+      in
+      (match bad with Some msg -> Error msg | None -> Ok ())
+
+let to_json (s : t) =
+  Json.Assoc
+    [
+      ("type", Json.String "span");
+      ("id", Json.Int s.id);
+      ("parent", match s.parent with Some p -> Json.Int p | None -> Json.Null);
+      ("track", Json.Int s.track);
+      ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("ts_ns", Json.Int s.start_ns);
+      ("dur_ns", Json.Int s.dur_ns);
+      ("args", Json.Assoc s.args);
+    ]
