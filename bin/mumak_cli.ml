@@ -34,7 +34,7 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
 let run name ops key_range seed version_str grouped strategy_str bugs no_warnings
-    store_level jobs static trace_out metrics_out progress =
+    store_level jobs static lint verify_fixes trace_out metrics_out progress =
   let version =
     match version_str with
     | "1.6" -> Pmalloc.Version.V1_6
@@ -72,6 +72,11 @@ let run name ops key_range seed version_str grouped strategy_str bugs no_warning
           static;
           prioritize = static;
           jobs;
+          (* --verify-fixes without --lint would verify static fixes only;
+             implying lint keeps the CLI contract simple: verification always
+             covers every fix suggestion the run produced *)
+          lint = lint || verify_fixes;
+          verify_fixes;
         }
       in
       if trace_out <> None || metrics_out <> None then Telemetry.Collector.enable ();
@@ -143,6 +148,26 @@ let static_arg =
            injection loop so statically-suspicious failure points are tried \
            first. Implies --strategy reexecute.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the epoch-based anti-pattern detectors over a recorded trace: \
+           duplicate/unnecessary flushes, redundant fences and missing-flush \
+           hot spots, each with a code path, a concrete fix and an estimated \
+           cycles/events saving. Costs one extra instrumented execution.")
+
+let verify_fixes_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-fixes" ]
+        ~doc:
+          "Verify every fix suggestion (static and lint) by rewriting the \
+           recorded trace, replaying it and re-running the crash-consistency \
+           oracle and the detectors over the result: verdicts proven / \
+           ineffective / harmful, printed under each finding. Implies --lint.")
+
 let trace_out_arg =
   Arg.(
     value & opt (some string) None
@@ -176,7 +201,8 @@ let analyze_term =
   Term.(
     const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
     $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg
-    $ jobs_arg $ static_arg $ trace_out_arg $ metrics_out_arg $ progress_arg)
+    $ jobs_arg $ static_arg $ lint_arg $ verify_fixes_arg $ trace_out_arg
+    $ metrics_out_arg $ progress_arg)
 
 let analyze_cmd =
   let doc = "Detect crash-consistency and performance bugs in a PM application." in

@@ -43,3 +43,25 @@ let to_string t =
     t.rationale
 
 let pp ppf t = Fmt.string ppf (to_string t)
+
+let action_rank = function
+  | Insert_flush _ -> 0
+  | Insert_fence -> 1
+  | Delete_flush _ -> 2
+  | Delete_fence -> 3
+
+(* Identity of the edit itself — two findings proposing the same edit at
+   the same place are one suggestion, whatever their rationales say. *)
+let key t = Printf.sprintf "%s@%s#%d" (action_to_string t.action) (anchor_to_string t) t.seq
+
+(** Deterministic order: (frame, ordinal, kind) — suggestion lists must not
+    drift with hashtable iteration across runs or worker counts. *)
+let compare a b =
+  let frame t = match t.stack with Some c -> Pmtrace.Callstack.capture_to_string c | None -> "" in
+  Stdlib.compare
+    (frame a, a.seq, action_rank a.action, a.action)
+    (frame b, b.seq, action_rank b.action, b.action)
+
+let equal a b = compare a b = 0
+
+let dedup fixes = List.sort_uniq compare fixes

@@ -28,3 +28,17 @@ val anchor_to_string : t -> string
 
 val to_string : t -> string
 val pp : t Fmt.t
+
+val key : t -> string
+(** Identity of the edit itself (action + anchor + index, rationale
+    excluded): two findings proposing the same edit are one suggestion. *)
+
+val compare : t -> t -> int
+(** Deterministic (frame, ordinal, kind) order — suggestion lists must not
+    drift with hashtable iteration across runs or worker counts. Rationale
+    is not compared. *)
+
+val equal : t -> t -> bool
+
+val dedup : t list -> t list
+(** Sorted ({!compare}) with duplicate edits removed. *)

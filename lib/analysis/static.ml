@@ -34,6 +34,12 @@ type finding = {
   stack : Pmtrace.Callstack.capture option;  (** frame + ordinal of the anchor *)
   detail : string;
   fix : Fix.t option;
+  ident : string option;
+      (** for invariant-backed findings (ordering / atomicity), the mined
+          invariant the instance violates — identity that survives trace
+          rewrites even when the anchor shifts or the violation is
+          re-described (a dangling pointee becoming an unordered one is
+          the same chase) *)
 }
 
 type t = {
@@ -67,11 +73,21 @@ let index_stacks events =
 let capture_str tbl p =
   Option.map Pmtrace.Callstack.capture_to_string (Hashtbl.find_opt tbl p)
 
+let kind_rank = function
+  | Durability -> 0
+  | Transient -> 1
+  | Ordering -> 2
+  | Atomicity -> 3
+  | Redundant_flush -> 4
+  | Redundant_fence -> 5
+
 (** [analyze ~support ~confidence ~eadr runs] — each run is
     [(load_free_events, load_traced_events)] of one recorded execution of
-    the same deterministic workload. *)
-let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.Event.t list) list)
-    =
+    the same deterministic workload. [invariants] skips the mining and
+    scans against the given invariant set instead — how the fix verifier
+    re-checks a rewritten trace under the {e baseline} invariants. *)
+let analyze ?invariants ~support ~confidence ~eadr
+    (runs : (Pmtrace.Event.t list * Pmtrace.Event.t list) list) =
   Telemetry.Collector.span ~cat:"static" "analyze" @@ fun () ->
   assert (runs <> []);
   let stacks = List.map (fun (noload, _) -> index_stacks noload) runs in
@@ -80,8 +96,15 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
       (fun (_, loaded) tbl -> Dep_graph.build ~loc_of_pseq:(capture_str tbl) loaded)
       runs stacks
   in
-  let with_locs = List.map (fun g -> (g, fun (n : Dep_graph.node) -> n.Dep_graph.locs)) graphs in
-  let invariants = Invariants.mine ~support ~confidence with_locs in
+  let invariants =
+    match invariants with
+    | Some i -> i
+    | None ->
+        let with_locs =
+          List.map (fun g -> (g, fun (n : Dep_graph.node) -> n.Dep_graph.locs)) graphs
+        in
+        Invariants.mine ~support ~confidence with_locs
+  in
   let g = List.hd graphs in
   let stack_tbl = List.hd stacks in
   let stack_of p = Hashtbl.find_opt stack_tbl p in
@@ -118,7 +141,7 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
     (lo', hi')
   in
   let findings = ref [] and hot = ref [] and frames = ref [] in
-  let add ?fix ?window kind seq detail =
+  let add ?fix ?window ?ident kind seq detail =
     (match window with
     | Some (lo, hi, w) -> (
         let lo, hi = widen lo hi in
@@ -130,7 +153,7 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
             | [] -> ())
         | None -> ())
     | None -> ());
-    findings := { kind; seq; stack = stack_of seq; detail; fix } :: !findings
+    findings := { kind; seq; stack = stack_of seq; detail; fix; ident } :: !findings
   in
   let fix action seq rationale = { Fix.action; seq; stack = stack_of seq; rationale } in
   (* ---- durability: store windows that never reached a fence ---- *)
@@ -174,6 +197,7 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
       invariants.Invariants.orderings
   in
   let seen_chase = Hashtbl.create 16 in
+  let chase_ident (src, dst) = Printf.sprintf "chase:%s->%s" src dst in
   List.iter
     (fun (c : Dep_graph.chase) ->
       match supported c.Dep_graph.c_paths with
@@ -215,7 +239,7 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
                         (fix Fix.Insert_fence anchor
                            "drain the pointee's flush before flushing the pointer")
                       ~window:(lo, src.Dep_graph.fence_p, 100)
-                      Ordering anchor
+                      ~ident:(chase_ident c.Dep_graph.c_paths) Ordering anchor
                       (describe
                          (Printf.sprintf
                             "pointee line %d and pointer line %d persist at the same fence; \
@@ -233,7 +257,7 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
                            (Fix.Insert_flush { line = dst.Dep_graph.line })
                            anchor "persist the pointee before publishing the pointer")
                       ~window:(src.Dep_graph.first_store_p, dst.Dep_graph.fence_p, 100)
-                      Ordering anchor
+                      ~ident:(chase_ident c.Dep_graph.c_paths) Ordering anchor
                       (describe
                          (Printf.sprintf
                             "pointer line %d persisted at epoch %d before pointee line %d \
@@ -260,7 +284,7 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
                              (Fix.Insert_flush { line = d.Dep_graph.d_line })
                              anchor "the pointer is persisted but its target never is")
                         ~window:(d.Dep_graph.d_first_store_p, d.Dep_graph.d_last_store_p, 100)
-                        Ordering anchor
+                        ~ident:(chase_ident c.Dep_graph.c_paths) Ordering anchor
                         (describe
                            (Printf.sprintf
                               "pointer line %d is persisted but pointee line %d never reaches \
@@ -302,6 +326,8 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
                    "order the dependence: fence between the two flushes")
               ~window:
                 (min a.Dep_graph.first_store_p b.Dep_graph.first_store_p, a.Dep_graph.fence_p, 100)
+              ~ident:
+                (Printf.sprintf "dep:%s->%s" dep.Invariants.dep_src dep.Invariants.dep_dst)
               Ordering anchor
               (Printf.sprintf
                  "%s is read to derive %s (%d dependence witnesses) but both persist at the \
@@ -321,7 +347,10 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
             let a = Dep_graph.node g ida and b = Dep_graph.node g idb in
             let lo = min a.Dep_graph.first_store_p b.Dep_graph.first_store_p
             and hi = max a.Dep_graph.fence_p b.Dep_graph.fence_p in
-            add ~window:(lo, hi, 50) Atomicity (min a.Dep_graph.fence_p b.Dep_graph.fence_p)
+            add ~window:(lo, hi, 50)
+              ~ident:(Printf.sprintf "atomic:%s&%s" ap.Invariants.a_loc1 ap.Invariants.a_loc2)
+              Atomicity
+              (min a.Dep_graph.fence_p b.Dep_graph.fence_p)
               (Printf.sprintf
                  "%s and %s persist atomically in %d epoch(s) (confidence %.2f) but are \
                   split %d time(s); a crash between the fences tears the pair"
@@ -352,8 +381,17 @@ let analyze ~support ~confidence ~eadr (runs : (Pmtrace.Event.t list * Pmtrace.E
             ~fix:(fix Fix.Delete_fence r.Dep_graph.r_seq_p "no flush or NT store to drain")
             Redundant_fence r.Dep_graph.r_seq_p "fence with no pending flushes or NT stores")
     g.Dep_graph.redundant;
+  (* Deterministic findings order: invariant tables iterate in hash order,
+     so emission order can drift across runs — sort by (anchor, kind,
+     detail) instead. *)
+  let findings =
+    List.sort
+      (fun a b ->
+        Stdlib.compare (a.seq, kind_rank a.kind, a.detail) (b.seq, kind_rank b.kind, b.detail))
+      !findings
+  in
   {
-    findings = List.rev !findings;
+    findings;
     invariants;
     graph = g;
     hot_windows = List.rev !hot;

@@ -18,6 +18,11 @@ type finding = {
   stack : Pmtrace.Callstack.capture option;  (** frame + ordinal of the anchor *)
   detail : string;
   fix : Fix.t option;
+  ident : string option;
+      (** for invariant-backed findings (ordering / atomicity), the mined
+          invariant the instance violates — an identity stable across trace
+          rewrites even when the anchor shifts or the violation class
+          changes (the fix verifier compares findings by it) *)
 }
 
 type t = {
@@ -35,7 +40,11 @@ type t = {
   events : int;  (** total events folded into graphs across recordings *)
 }
 
+val kind_rank : kind -> int
+(** Severity-family order used to sort findings deterministically. *)
+
 val analyze :
+  ?invariants:Invariants.t ->
   support:int ->
   confidence:float ->
   eadr:bool ->
@@ -47,7 +56,10 @@ val analyze :
     provides exact frame + ordinal anchors in pipeline seq coordinates;
     the load-traced recording provides dependency edges and pointer
     chases. Under [eadr] the durability family is suppressed (globally
-    visible stores are durable, paper section 4.3). *)
+    visible stores are durable, paper section 4.3). Findings are sorted by
+    (anchor, kind, detail). [invariants] skips the mining and scans
+    against the given set — how the fix verifier re-checks a rewritten
+    trace under the baseline invariants. *)
 
 val pp_finding : finding Fmt.t
 val pp : t Fmt.t

@@ -1,0 +1,340 @@
+(** Engine-backed fix verification: every {!Fix.t} the analyses suggest is
+    applied to the recorded trace as a concrete edit, the rewritten trace is
+    replayed, and both the crash-consistency oracle and the static detectors
+    are re-run over the result — upgrading an advisory suggestion to a
+    machine-checked verdict.
+
+    A fix is {e proven} when the finding it targets disappears from the
+    rewritten trace and no new harm shows up; {e ineffective} when the
+    finding survives; {e harmful} when the rewrite introduces a new
+    correctness-grade finding (oracle bug, structural durability /
+    ordering / atomicity violation, stranded store window) or — for
+    deletions, which promise behaviour preservation — changes the final
+    persisted image.
+
+    Everything here is offline: verification costs replays (trace
+    interpretation), never target re-executions. The oracle and
+    failure-point enumerators are passed in as closures so this module
+    stays below the engine in the dependency order. *)
+
+type verdict = Proven | Ineffective | Harmful
+
+let verdict_to_string = function
+  | Proven -> "proven"
+  | Ineffective -> "ineffective"
+  | Harmful -> "harmful"
+
+type source = Static_finding | Lint_finding
+
+let source_to_string = function Static_finding -> "static" | Lint_finding -> "lint"
+
+type candidate = {
+  c_source : source;
+  c_kind : string;  (** source-specific kind string of the targeted finding *)
+  c_stack : Pmtrace.Callstack.capture option;  (** the finding's code path *)
+  c_pseq : int;  (** the finding's persistency-index anchor *)
+  c_fix : Fix.t;
+}
+
+type outcome = { o_candidate : candidate; o_verdict : verdict; o_detail : string }
+
+type t = {
+  outcomes : outcome list;  (** in {!Fix.compare} order of the fixes *)
+  proven : int;
+  ineffective : int;
+  harmful : int;
+  replays : int;  (** trace interpretations performed (injection + normalization) *)
+}
+
+(* Finding identity across a rewrite: kind + code path. Stacks survive
+   rewriting (recorded events keep theirs; synthesized events have none),
+   whereas anchors and detail strings embed persistency indices that shift
+   past an insertion. *)
+let finding_key kind stack pseq =
+  kind ^ "@"
+  ^
+  match stack with
+  | Some c -> Pmtrace.Callstack.capture_to_string c
+  | None -> Printf.sprintf "#%d" pseq
+
+let candidate_key c = finding_key c.c_kind c.c_stack c.c_pseq
+
+(** The concrete trace edits a {!Fix.t} stands for at one anchor. An
+    inserted flush gets a fence right behind it: under the buffered
+    persistency model a flush only reaches durability at a fence, so the
+    flush alone would leave the window exactly as dangling as before. *)
+let edits_at (fix : Fix.t) ?at_op ?(with_fence = true) pseq =
+  match fix.Fix.action with
+  | Fix.Insert_flush { line } ->
+      (* a flush-the-store fix follows the store it repairs: when the
+         instance is a store, flush the line *that* instance dirtied — the
+         same source line touches a different cache line each execution *)
+      let line =
+        match at_op with
+        | Some (Pmem.Op.Store { addr; _ }) -> Pmem.Addr.line_of addr
+        | Some _ | None -> line
+      in
+      Pmtrace.Replay.Insert_flush_after { pseq; line }
+      :: (if with_fence then [ Pmtrace.Replay.Insert_fence_after { pseq } ] else [])
+  | Fix.Insert_fence -> [ Pmtrace.Replay.Insert_fence_after { pseq } ]
+  | Fix.Delete_flush _ -> [ Pmtrace.Replay.Delete_flush_at { pseq } ]
+  | Fix.Delete_fence -> [ Pmtrace.Replay.Delete_fence_at { pseq } ]
+
+let edits_of_fix (fix : Fix.t) = edits_at fix fix.Fix.seq
+
+(* A fix names a code site, not a dynamic instruction: every event whose
+   capture (innermost path + ordinal) equals the fix's anchor is the same
+   static instruction executing again. Captures of frame instances that
+   took different branches can collide on the ordinal, so an instance also
+   has to carry the op shape the fix's action expects (deletes anchor at
+   the deleted flush/fence, inserts at the store to be persisted). *)
+let site_pseqs (fix : Fix.t) events =
+  let shape : Pmem.Op.t -> _ = function
+    | Pmem.Op.Store _ -> `Store
+    | Pmem.Op.Flush _ -> `Flush
+    | Pmem.Op.Fence _ -> `Fence
+    | Pmem.Op.Load _ -> `Load
+  in
+  match fix.Fix.stack with
+  | None -> [ (fix.Fix.seq, None) ]
+  | Some c ->
+      let want = Pmtrace.Callstack.capture_to_string c in
+      let pseq = ref 0 and matches = ref [] in
+      List.iter
+        (fun (e : Pmtrace.Event.t) ->
+          match e.Pmtrace.Event.op with
+          | Pmem.Op.Load _ -> ()
+          | op -> (
+              incr pseq;
+              match e.Pmtrace.Event.stack with
+              | Some c' when Pmtrace.Callstack.capture_to_string c' = want ->
+                  matches := (!pseq, op) :: !matches
+              | _ -> ()))
+        events;
+      let matches = List.rev !matches in
+      (* only instances shaped like the anchor event count: captures of
+         frame instances that branched differently can collide on the
+         ordinal, and a delete edit additionally requires its shape *)
+      let anchor_shape =
+        Option.map shape (List.assoc_opt fix.Fix.seq matches)
+      in
+      let allowed s =
+        (match anchor_shape with Some a -> s = a | None -> true)
+        &&
+        match fix.Fix.action with
+        | Fix.Delete_flush _ -> s = `Flush
+        | Fix.Delete_fence -> s = `Fence
+        | Fix.Insert_flush _ | Fix.Insert_fence -> true
+      in
+      (match
+         List.filter_map
+           (fun (p, op) -> if allowed (shape op) then Some (p, Some op) else None)
+           matches
+       with
+      | [] -> [ (fix.Fix.seq, None) ]
+      | l -> l)
+
+(** A source-level repair applies everywhere the repaired instruction
+    executes: the fix's edits, expanded to every dynamic instance of its
+    anchor site in [events] (inserted flushes chase each instance's own
+    cache line). An inserted flush is paired with a fence only when no
+    recorded fence follows it — a later fence drains the flush anyway,
+    while a synthesized one splits the surrounding persist epoch and can
+    break the program's own atomicity batching. *)
+let expand_fix (fix : Fix.t) events =
+  let last_fence_p =
+    let pseq = ref 0 and last = ref 0 in
+    List.iter
+      (fun (e : Pmtrace.Event.t) ->
+        match e.Pmtrace.Event.op with
+        | Pmem.Op.Load _ -> ()
+        | Pmem.Op.Fence _ ->
+            incr pseq;
+            last := !pseq
+        | _ -> incr pseq)
+      events;
+    !last
+  in
+  List.concat_map
+    (fun (p, at_op) -> edits_at fix ?at_op ~with_fence:(p >= last_fence_p) p)
+    (site_pseqs fix events)
+
+let is_delete (fix : Fix.t) =
+  match fix.Fix.action with
+  | Fix.Delete_flush _ | Fix.Delete_fence -> true
+  | Fix.Insert_flush _ | Fix.Insert_fence -> false
+
+(* ------------------------------------------------------------------ *)
+(* Key sets from the three checkers                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Keys = Set.Make (String)
+
+let static_keys ~correctness_only (s : Static.t) =
+  List.fold_left
+    (fun acc (f : Static.finding) ->
+      let corr =
+        match f.Static.kind with
+        | Static.Durability | Static.Ordering | Static.Atomicity -> true
+        | Static.Transient | Static.Redundant_flush | Static.Redundant_fence -> false
+      in
+      if correctness_only && not corr then acc
+      else
+        let key =
+          (* invariant-backed findings carry the violated invariant's
+             identity: a rewrite that shifts the anchor or re-describes the
+             violation (dangling pointee -> unordered pointee) is still the
+             same defect, not a new one *)
+          match f.Static.ident with
+          | Some id -> Static.kind_to_string f.Static.kind ^ "@" ^ id
+          | None -> finding_key (Static.kind_to_string f.Static.kind) f.Static.stack f.Static.seq
+        in
+        Keys.add key acc)
+    Keys.empty s.Static.findings
+
+let lint_keys ?only (l : Lint.t) =
+  List.fold_left
+    (fun acc (f : Lint.finding) ->
+      if match only with Some k -> f.Lint.l_kind <> k | None -> false then acc
+      else Keys.add (finding_key (Lint.kind_to_string f.Lint.l_kind) f.Lint.l_stack f.Lint.l_pseq) acc)
+    Keys.empty l.Lint.findings
+
+(* Replay-based fault injection: enumerate the trace's failure points with
+   the [points] closure, replay once, and capture + classify the
+   program-prefix crash image of each point as it is passed — the offline
+   analogue of the snapshot injection strategy. Returns the oracle-bug key
+   set and the final (fully drained, ADR) image of the replayed run. *)
+let inject ~points ~oracle recording =
+  let evs = Pmtrace.Replay.events recording in
+  let want = Hashtbl.create 64 in
+  List.iter (fun (_, pseq, capture) -> Hashtbl.replace want pseq capture) (points evs);
+  let keys = ref Keys.empty in
+  let device =
+    Pmtrace.Replay.replay recording ~on_event:(fun device ~pseq _e ->
+        match Hashtbl.find_opt want pseq with
+        | None -> ()
+        | Some capture -> (
+            let img = Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix in
+            match oracle img with
+            | None -> ()
+            | Some (kind, _detail) ->
+                keys :=
+                  Keys.add
+                    (kind ^ "@" ^ Pmtrace.Callstack.capture_to_string capture)
+                    !keys))
+  in
+  (!keys, Pmem.Device.persisted_image device)
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let verify ?invariants ~support ~confidence ~eadr
+    ~(oracle : Pmem.Image.t -> (string * string) option)
+    ~(points : Pmtrace.Event.t list -> (int * int * Pmtrace.Callstack.capture) list)
+    ~(noload : Pmtrace.Replay.t) ~(loaded : Pmtrace.Replay.t) (candidates : candidate list) =
+  Telemetry.Collector.span ~cat:"verify" "verify_fixes" @@ fun () ->
+  let replays = ref 0 in
+  let noload_events = Pmtrace.Replay.events noload in
+  let loaded_events = Pmtrace.Replay.events loaded in
+  (* baseline: what the unmodified trace shows, under invariants mined once
+     and reused for every recheck *)
+  let base_static =
+    Static.analyze ?invariants ~support ~confidence ~eadr [ (noload_events, loaded_events) ]
+  in
+  let invariants = base_static.Static.invariants in
+  let base_lint = Lint.analyze ~eadr noload_events in
+  let base_oracle, base_image = inject ~points ~oracle noload in
+  incr replays;
+  let base_structural = static_keys ~correctness_only:true base_static in
+  let base_missing = lint_keys ~only:Lint.Missing_flush base_lint in
+  (* deterministic order, one verdict per distinct edit *)
+  let candidates =
+    List.stable_sort (fun a b -> Fix.compare a.c_fix b.c_fix) candidates
+    |> List.fold_left
+         (fun (seen, acc) c ->
+           let k = Fix.key c.c_fix in
+           if List.mem k seen then (seen, acc) else (k :: seen, c :: acc))
+         ([], [])
+    |> snd |> List.rev
+  in
+  let judge c =
+    (* one edit list, computed in noload coordinates and applied to both
+       recordings: the persistency index is shared (it skips loads), while
+       capture ordinals are not — a load-traced frame counts its loads, so
+       matching sites by capture against the loaded trace would hit
+       different instructions *)
+    let edits = expand_fix c.c_fix noload_events in
+    match Pmtrace.Replay.rewrite noload edits with
+    | exception Failure msg -> { o_candidate = c; o_verdict = Ineffective; o_detail = msg }
+    | rewritten ->
+        let norm_noload = Pmtrace.Replay.normalize rewritten in
+        let norm_loaded =
+          Pmtrace.Replay.normalize (Pmtrace.Replay.rewrite loaded edits)
+        in
+        let re_static =
+          Static.analyze ~invariants ~support ~confidence ~eadr [ (norm_noload, norm_loaded) ]
+        in
+        let re_lint = Lint.analyze ~eadr norm_noload in
+        let re_oracle, re_image = inject ~points ~oracle rewritten in
+        replays := !replays + 3;
+        (* a post-rewrite finding anchored at a synthesized event (stackless
+           key, "kind@#pseq") has no source location: it is the detector
+           re-describing the inserted instruction itself — e.g. a pointee
+           that previously never persisted now merely co-persisting with its
+           pointer — not a new defect at a program site. Hazards between
+           recorded instructions keep their stacks and still register. *)
+        let attributable key =
+          match String.index_opt key '@' with
+          | Some i -> not (i + 1 < String.length key && key.[i + 1] = '#')
+          | None -> true
+        in
+        let fresh got base =
+          Keys.elements (Keys.diff got base) |> List.filter attributable
+        in
+        let new_oracle = fresh re_oracle base_oracle in
+        let new_structural =
+          fresh (static_keys ~correctness_only:true re_static) base_structural
+        in
+        let new_missing = fresh (lint_keys ~only:Lint.Missing_flush re_lint) base_missing in
+        let image_changed = is_delete c.c_fix && not (Pmem.Image.equal base_image re_image) in
+        let target_gone =
+          let keys =
+            match c.c_source with
+            | Static_finding -> static_keys ~correctness_only:false re_static
+            | Lint_finding -> lint_keys re_lint
+          in
+          not (Keys.mem (candidate_key c) keys)
+        in
+        let verdict, detail =
+          match (new_oracle, new_structural, new_missing, image_changed) with
+          | bug :: _, _, _, _ -> (Harmful, "introduces an oracle bug: " ^ bug)
+          | [], v :: _, _, _ -> (Harmful, "introduces a structural violation: " ^ v)
+          | [], [], v :: _, _ -> (Harmful, "strands a store window: " ^ v)
+          | [], [], [], true ->
+              (Harmful, "deletion changes the final persisted image")
+          | [], [], [], false ->
+              if target_gone then
+                (Proven, "targeted finding gone from the rewritten trace; no new findings")
+              else (Ineffective, "targeted finding still present in the rewritten trace")
+        in
+        { o_candidate = c; o_verdict = verdict; o_detail = detail }
+  in
+  let outcomes = List.map judge candidates in
+  let tally v = List.length (List.filter (fun o -> o.o_verdict = v) outcomes) in
+  let proven = tally Proven and ineffective = tally Ineffective and harmful = tally Harmful in
+  Telemetry.Collector.count "fix.proven" proven;
+  Telemetry.Collector.count "fix.ineffective" ineffective;
+  Telemetry.Collector.count "fix.harmful" harmful;
+  { outcomes; proven; ineffective; harmful; replays = !replays }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "[%s] %s -> %s (%s)"
+    (source_to_string o.o_candidate.c_source)
+    (Fix.to_string o.o_candidate.c_fix)
+    (verdict_to_string o.o_verdict) o.o_detail
+
+let pp ppf t =
+  Fmt.pf ppf "fix verdicts: proven=%d ineffective=%d harmful=%d (%d replay(s))" t.proven
+    t.ineffective t.harmful t.replays;
+  List.iter (fun o -> Fmt.pf ppf "@.  %a" pp_outcome o) t.outcomes

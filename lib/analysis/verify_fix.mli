@@ -1,0 +1,89 @@
+(** Engine-backed fix verification: apply each suggested {!Fix.t} to the
+    recorded trace, replay the rewritten trace, and re-run the
+    crash-consistency oracle and the static detectors over the result —
+    upgrading advisory suggestions to machine-checked verdicts.
+
+    Verification costs replays (trace interpretation), never target
+    re-executions. The oracle and failure-point enumerator are passed in as
+    closures so this module stays below the engine in the dependency
+    order. *)
+
+type verdict =
+  | Proven
+      (** the targeted finding is gone from the rewritten trace and nothing
+          new broke *)
+  | Ineffective  (** the targeted finding is still present *)
+  | Harmful
+      (** the rewrite introduces a new correctness-grade finding (oracle
+          bug, structural durability/ordering/atomicity violation, stranded
+          store window) or — for deletions, which promise behaviour
+          preservation — changes the final persisted image *)
+
+val verdict_to_string : verdict -> string
+
+type source = Static_finding | Lint_finding
+
+val source_to_string : source -> string
+
+(** A fix together with the finding it claims to repair: the finding's
+    identity (kind + code path) is what the recheck must no longer
+    report. *)
+type candidate = {
+  c_source : source;
+  c_kind : string;  (** source-specific kind string of the targeted finding *)
+  c_stack : Pmtrace.Callstack.capture option;  (** the finding's code path *)
+  c_pseq : int;  (** the finding's persistency-index anchor *)
+  c_fix : Fix.t;
+}
+
+type outcome = { o_candidate : candidate; o_verdict : verdict; o_detail : string }
+
+type t = {
+  outcomes : outcome list;  (** in {!Fix.compare} order of the fixes *)
+  proven : int;
+  ineffective : int;
+  harmful : int;
+  replays : int;  (** trace interpretations performed (injection + normalization) *)
+}
+
+val edits_of_fix : Fix.t -> Pmtrace.Replay.edit list
+(** The concrete trace edits a fix stands for at its anchor instance. An
+    inserted flush gets a fence right behind it: under the buffered
+    persistency model a flush only reaches durability at a fence, so the
+    flush alone would leave the window exactly as dangling as before. *)
+
+val expand_fix : Fix.t -> Pmtrace.Event.t list -> Pmtrace.Replay.edit list
+(** A fix names a code site, not a dynamic instruction: [expand_fix fix
+    events] is the fix's edits applied at every dynamic instance of its
+    anchor site (every event sharing the anchor's capture) — what the
+    verifier rewrites, mirroring a source-level repair. Two refinements
+    over {!edits_of_fix} at each instance: an inserted flush targets the
+    cache line *that instance's* store dirtied (the same source line
+    touches different lines per activation), and its paired fence is
+    elided when a recorded fence already follows the instance — the later
+    fence drains the inserted flush, while a synthesized one would split
+    the persist epoch and break the program's own atomicity batching. *)
+
+val verify :
+  ?invariants:Invariants.t ->
+  support:int ->
+  confidence:float ->
+  eadr:bool ->
+  oracle:(Pmem.Image.t -> (string * string) option) ->
+  points:(Pmtrace.Event.t list -> (int * int * Pmtrace.Callstack.capture) list) ->
+  noload:Pmtrace.Replay.t ->
+  loaded:Pmtrace.Replay.t ->
+  candidate list ->
+  t
+(** [verify ~oracle ~points ~noload ~loaded candidates] — [oracle]
+    classifies a crash image (Some (kind, detail) = bug); [points]
+    enumerates a trace's failure points as [(ordinal, pseq, capture)]
+    triples; [noload]/[loaded] are replay recordings of the same
+    deterministic workload without/with load tracing. Candidates are
+    deduplicated by edit identity ({!Fix.key}) and judged in
+    {!Fix.compare} order; [invariants] (normally the baseline static
+    analysis's) are reused for every recheck rather than re-mined, and
+    mined once from the given pair when absent. *)
+
+val pp_outcome : outcome Fmt.t
+val pp : t Fmt.t

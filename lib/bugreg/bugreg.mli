@@ -1,0 +1,66 @@
+(** Registry of seeded bugs.
+
+    Every application and library in this reproduction contains named bug
+    sites that are compiled in but disabled by default (the default build
+    is clean). Enabling a bug id makes the corresponding code path
+    misbehave the way the published bug did; the coverage experiment
+    (paper section 6.2) enables sets of bugs and measures which tools
+    report them.
+
+    The registry is global mutable state on purpose: it plays the role of
+    "which version of the buggy source tree are we testing", which in the
+    original evaluation is fixed per run. *)
+
+type taxonomy =
+  | Durability
+  | Atomicity
+  | Ordering
+  | Redundant_flush
+  | Redundant_fence
+  | Transient_data
+
+val taxonomy_to_string : taxonomy -> string
+
+val is_correctness : taxonomy -> bool
+(** Durability/atomicity/ordering bugs corrupt state; the rest are
+    performance or hygiene defects. *)
+
+type t = {
+  id : string;
+  component : string;  (** library or application containing the bug *)
+  taxonomy : taxonomy;
+  description : string;
+  detectors : string list;
+      (** ground truth: the tools whose published approach finds this class
+          of bug at this site (used to score coverage) *)
+}
+
+val register :
+  id:string ->
+  component:string ->
+  taxonomy:taxonomy ->
+  description:string ->
+  detectors:string list ->
+  t
+(** Raises [Invalid_argument] on a duplicate id. *)
+
+val find : string -> t option
+
+val all : unit -> t list
+(** Every registered bug, sorted by id. *)
+
+val enable : string -> unit
+(** Raises [Invalid_argument] on an unknown id. *)
+
+val disable : string -> unit
+val disable_all : unit -> unit
+val enabled : string -> bool
+
+val enabled_ids : unit -> string list
+(** Currently enabled ids, sorted. *)
+
+val with_enabled : string list -> (unit -> 'a) -> 'a
+(** [with_enabled ids f] runs [f] with exactly [ids] enabled, restoring the
+    previous enable-set afterwards (on exceptions too). *)
+
+val pp : t Fmt.t

@@ -57,6 +57,16 @@ type t = {
           domains and merges the records deterministically (sorted by
           discovery ordinal). [1] (the default) is the sequential loop;
           the [Snapshot] strategy ignores this field (single execution). *)
+  lint : bool;
+      (** run the epoch-based anti-pattern detectors (redundant/duplicate
+          flushes, redundant fences, missing-flush hot spots) over a
+          recorded trace and add their findings to the report *)
+  verify_fixes : bool;
+      (** verify every fix suggestion (static and lint) by rewriting the
+          recorded trace, replaying it, and re-running the oracle and the
+          detectors: verdicts proven / ineffective / harmful. Costs two
+          extra instrumented executions (replay recordings) and replays —
+          never target re-executions. *)
 }
 
 let default =
@@ -74,6 +84,8 @@ let default =
     invariant_support = 3;
     invariant_confidence = 0.9;
     jobs = 1;
+    lint = false;
+    verify_fixes = false;
   }
 
 let granularity_name = function
@@ -103,12 +115,18 @@ let to_json t =
       ("invariant_support", Int t.invariant_support);
       ("invariant_confidence", Float t.invariant_confidence);
       ("jobs", Int t.jobs);
+      ("lint", Bool t.lint);
+      ("verify_fixes", Bool t.verify_fixes);
     ]
 
 (** [default] plus the full static pipeline: dependency-graph analysis,
     invariant mining, fix suggestions and invariant-guided prioritization
     of the re-execution injection loop. *)
 let static_analysis = { default with strategy = Reexecute; static = true; prioritize = true }
+
+(** The lint pipeline: anti-pattern detectors plus verified fix
+    suggestions, alongside the default dynamic phases. *)
+let linting = { default with lint = true; verify_fixes = true }
 
 (** The configuration the benchmarks use to mirror the original system's
     cost model. *)

@@ -18,6 +18,12 @@ type result = {
   static : Analysis.Static.t option;
       (** the static analyzer's output (graphs, invariants, raw findings)
           when [Config.static] was on *)
+  lint : Analysis.Lint.t option;
+      (** anti-pattern detector output when [Config.lint] or
+          [Config.verify_fixes] was on (verification replays lint too) *)
+  fix_verdicts : Analysis.Verify_fix.t option;
+      (** replay-backed verdict for every fix suggestion when
+          [Config.verify_fixes] was on *)
   first_bug_injection : int option;
       (** 1-based position in the injection schedule of the first fault
           whose oracle flagged a bug; [None] when fault injection found
@@ -81,6 +87,28 @@ let static_kind_to_report : Analysis.Static.kind -> Report.kind = function
   | Analysis.Static.Redundant_flush -> Report.Redundant_flush
   | Analysis.Static.Redundant_fence -> Report.Redundant_fence
 
+let lint_kind_to_report : Analysis.Lint.kind -> Report.kind = function
+  | Analysis.Lint.Duplicate_flush | Analysis.Lint.Unnecessary_flush
+  | Analysis.Lint.Nt_flush_misuse -> Report.Redundant_flush
+  | Analysis.Lint.Redundant_fence -> Report.Redundant_fence
+  | Analysis.Lint.Missing_flush -> Report.Missing_flush_warning
+
+(* The verifier is parameterized over the oracle and failure-point
+   enumerator so [Analysis] stays below the engine in the dependency
+   order; these closures plug the engine's own back in. *)
+let verify_candidates config (target : Target.t) ~invariants ~noload ~loaded candidates =
+  let oracle img =
+    let device = Pmem.Device.of_image ~eadr:config.Config.eadr img in
+    match Oracle.classify target.Target.recover device with
+    | Oracle.Consistent -> None
+    | Oracle.Unrecoverable msg -> (Some (Report.kind_to_string Report.Unrecoverable_state, msg))
+    | Oracle.Crashed msg -> Some (Report.kind_to_string Report.Recovery_crash, msg)
+  in
+  let points events = Fault_injection.offline_points config events in
+  Analysis.Verify_fix.verify ?invariants ~support:config.Config.invariant_support
+    ~confidence:config.Config.invariant_confidence ~eadr:config.Config.eadr ~oracle ~points
+    ~noload ~loaded candidates
+
 let analyze ?(config = Config.default) (target : Target.t) =
   let report = Report.create ~target:target.Target.name in
   let ta = Trace_analysis.create config in
@@ -121,6 +149,82 @@ let analyze ?(config = Config.default) (target : Target.t) =
         else None
       in
       (Some static_r, priority, sa_metrics, 2 * runs)
+    end
+  in
+  (* Phase 0c (optional): anti-pattern lint over a replay recording, plus
+     replay-backed verification of every fix suggestion (static and lint).
+     Costs one replay recording for lint, a second (load-traced) one for
+     verification — then only trace interpretations, never target
+     re-executions. *)
+  let lint_result, fix_verdicts, lv_metrics, lv_executions =
+    if not (config.Config.lint || config.Config.verify_fixes) then
+      (None, None, Metrics.zero, 0)
+    else begin
+      Telemetry.Progress.phase "lint";
+      let (lint_r, verdicts, executions), lv_metrics =
+        Metrics.measure (fun () ->
+            Telemetry.Collector.span ~cat:"phase" "lint" @@ fun () ->
+            let run ~device ~framer = target.Target.run ~device ~framer in
+            let noload =
+              Pmtrace.Replay.record ~loads:false ~eadr:config.Config.eadr
+                ~pool_size:target.Target.pool_size run
+            in
+            let lint_r =
+              Analysis.Lint.analyze ~eadr:config.Config.eadr (Pmtrace.Replay.events noload)
+            in
+            Telemetry.Collector.count "lint.findings"
+              (List.length lint_r.Analysis.Lint.findings);
+            Telemetry.Collector.count "lint.events_saved" lint_r.Analysis.Lint.events_saved;
+            if not config.Config.verify_fixes then (lint_r, None, 1)
+            else begin
+              let loaded =
+                Pmtrace.Replay.record ~loads:true ~eadr:config.Config.eadr
+                  ~pool_size:target.Target.pool_size run
+              in
+              let static_candidates =
+                match static_result with
+                | None -> []
+                | Some s ->
+                    List.filter_map
+                      (fun (f : Analysis.Static.finding) ->
+                        Option.map
+                          (fun fx ->
+                            {
+                              Analysis.Verify_fix.c_source = Analysis.Verify_fix.Static_finding;
+                              c_kind = Analysis.Static.kind_to_string f.Analysis.Static.kind;
+                              c_stack = f.Analysis.Static.stack;
+                              c_pseq = f.Analysis.Static.seq;
+                              c_fix = fx;
+                            })
+                          f.Analysis.Static.fix)
+                      s.Analysis.Static.findings
+              in
+              let lint_candidates =
+                List.filter_map
+                  (fun (f : Analysis.Lint.finding) ->
+                    Option.map
+                      (fun fx ->
+                        {
+                          Analysis.Verify_fix.c_source = Analysis.Verify_fix.Lint_finding;
+                          c_kind = Analysis.Lint.kind_to_string f.Analysis.Lint.l_kind;
+                          c_stack = f.Analysis.Lint.l_stack;
+                          c_pseq = f.Analysis.Lint.l_pseq;
+                          c_fix = fx;
+                        })
+                      f.Analysis.Lint.l_fix)
+                  lint_r.Analysis.Lint.findings
+              in
+              let invariants =
+                Option.map (fun s -> s.Analysis.Static.invariants) static_result
+              in
+              let v =
+                verify_candidates config target ~invariants ~noload ~loaded
+                  (static_candidates @ lint_candidates)
+              in
+              (lint_r, Some v, 2)
+            end)
+      in
+      (Some lint_r, verdicts, lv_metrics, executions)
     end
   in
   (* Phase 1+2: instrumented execution(s), failure-point tree, injection. *)
@@ -168,9 +272,18 @@ let analyze ?(config = Config.default) (target : Target.t) =
     end
     else Hashtbl.create 0
   in
-  (* Combine: fault-injection bugs first, then static findings (so the
-     fix-carrying version of a finding wins deduplication against its
-     trace-analysis twin), then trace-analysis findings. *)
+  (* Combine: fault-injection bugs first, then static and lint findings (so
+     the fix-carrying version of a finding wins deduplication against its
+     trace-analysis twin), then trace-analysis findings. Findings carrying a
+     fix are indexed by the fix's edit identity so verification verdicts can
+     be attached to them afterwards. *)
+  let fix_findings : (string, Report.finding) Hashtbl.t = Hashtbl.create 16 in
+  let add_with_fix (finding : Report.finding) =
+    ignore (Report.add report finding);
+    match finding.Report.fix with
+    | Some fx -> Hashtbl.replace fix_findings (Analysis.Fix.key fx) finding
+    | None -> ()
+  in
   List.iter
     (fun r -> ignore (Report.add report (oracle_finding r)))
     (Fault_injection.bug_records fi_result);
@@ -182,17 +295,34 @@ let analyze ?(config = Config.default) (target : Target.t) =
           let kind = static_kind_to_report f.Analysis.Static.kind in
           let is_warning = Report.kind_is_warning kind in
           if (not is_warning) || config.Config.report_warnings then
-            ignore
-              (Report.add report
-                 {
-                   Report.kind;
-                   phase = Report.Static_analysis;
-                   stack = f.Analysis.Static.stack;
-                   seq = Some f.Analysis.Static.seq;
-                   detail = f.Analysis.Static.detail;
-                   fix = f.Analysis.Static.fix;
-                 }))
+            add_with_fix
+              {
+                Report.kind;
+                phase = Report.Static_analysis;
+                stack = f.Analysis.Static.stack;
+                seq = Some f.Analysis.Static.seq;
+                detail = f.Analysis.Static.detail;
+                fix = f.Analysis.Static.fix;
+              })
         s.Analysis.Static.findings);
+  (match lint_result with
+  | Some l when config.Config.lint ->
+      List.iter
+        (fun (f : Analysis.Lint.finding) ->
+          let kind = lint_kind_to_report f.Analysis.Lint.l_kind in
+          let is_warning = Report.kind_is_warning kind in
+          if (not is_warning) || config.Config.report_warnings then
+            add_with_fix
+              {
+                Report.kind;
+                phase = Report.Lint;
+                stack = f.Analysis.Lint.l_stack;
+                seq = Some f.Analysis.Lint.l_pseq;
+                detail = f.Analysis.Lint.l_detail;
+                fix = f.Analysis.Lint.l_fix;
+              })
+        l.Analysis.Lint.findings
+  | Some _ | None -> ());
   List.iter
     (fun (r : Trace_analysis.raw) ->
       let is_warning = Report.kind_is_warning r.Trace_analysis.kind in
@@ -208,6 +338,22 @@ let analyze ?(config = Config.default) (target : Target.t) =
                fix = None;
              }))
     raw_findings;
+  (* Attach the replay-backed verdicts to the findings whose fixes they
+     judged (an annotation side-table: arrives post-dedup, leaves the
+     report signature untouched). *)
+  (match fix_verdicts with
+  | None -> ()
+  | Some v ->
+      List.iter
+        (fun (o : Analysis.Verify_fix.outcome) ->
+          let fix = o.Analysis.Verify_fix.o_candidate.Analysis.Verify_fix.c_fix in
+          match Hashtbl.find_opt fix_findings (Analysis.Fix.key fix) with
+          | Some finding ->
+              Report.annotate report finding
+                (Analysis.Verify_fix.verdict_to_string o.Analysis.Verify_fix.o_verdict
+                ^ " — " ^ o.Analysis.Verify_fix.o_detail)
+          | None -> ())
+        v.Analysis.Verify_fix.outcomes);
   let result =
     {
       report;
@@ -216,14 +362,17 @@ let analyze ?(config = Config.default) (target : Target.t) =
       executions =
         fi_result.Fault_injection.executions
         + (if config.Config.resolve_stacks then 1 else 0)
-        + static_executions;
+        + static_executions + lv_executions;
       trace_events = Trace_analysis.event_count ta;
       pm_stats;
-      metrics = Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics;
+      metrics =
+        Metrics.add (Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics) lv_metrics;
       fi_metrics;
       ta_metrics;
       sa_metrics;
       static = static_result;
+      lint = lint_result;
+      fix_verdicts;
       first_bug_injection = Fault_injection.injections_to_first_bug fi_result;
       worker_metrics = fi_result.Fault_injection.worker_metrics;
     }
@@ -245,6 +394,22 @@ let pp_result ppf r =
   Fmt.pf ppf "%a@.failure points: %d, injections: %d, executions: %d, trace events: %d@.%a@."
     Report.pp r.report r.failure_points r.injections r.executions r.trace_events Metrics.pp
     r.metrics;
+  (match r.lint with
+  | Some l ->
+      Fmt.pf ppf
+        "lint: %d finding(s) over %d epoch(s) — %d redundant flush(es), %d redundant \
+         fence(s), %d missing-flush spot(s); est. %d cycles / %d events saved@."
+        (List.length l.Analysis.Lint.findings)
+        l.Analysis.Lint.epochs l.Analysis.Lint.redundant_flushes
+        l.Analysis.Lint.redundant_fences l.Analysis.Lint.missing_flush_spots
+        l.Analysis.Lint.cycles_saved l.Analysis.Lint.events_saved
+  | None -> ());
+  (match r.fix_verdicts with
+  | Some v ->
+      Fmt.pf ppf "fix verdicts: proven=%d ineffective=%d harmful=%d (%d replays)@."
+        v.Analysis.Verify_fix.proven v.Analysis.Verify_fix.ineffective
+        v.Analysis.Verify_fix.harmful v.Analysis.Verify_fix.replays
+  | None -> ());
   match r.worker_metrics with
   | [] -> ()
   | workers ->

@@ -21,6 +21,12 @@ type result = {
   static : Analysis.Static.t option;
       (** the static analyzer's output (graphs, invariants, raw findings)
           when [Config.static] was on *)
+  lint : Analysis.Lint.t option;
+      (** anti-pattern detector output when [Config.lint] or
+          [Config.verify_fixes] was on (verification replays lint too) *)
+  fix_verdicts : Analysis.Verify_fix.t option;
+      (** replay-backed verdict for every fix suggestion when
+          [Config.verify_fixes] was on *)
   first_bug_injection : int option;
       (** 1-based position in the injection schedule of the first fault
           whose oracle flagged a bug; [None] when fault injection found

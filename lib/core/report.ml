@@ -15,17 +15,20 @@ type kind =
       (** static analysis: a likely persist-ordering invariant is violated *)
   | Atomicity_violation
       (** static analysis: locations that usually persist atomically were split *)
+  | Missing_flush_warning
+      (** lint: a fence leaves a line dirty that is never flushed afterwards *)
 
 let kind_is_warning = function
   | Transient_data_warning | Multi_store_flush_warning | Unordered_flushes_warning
-  | Ordering_violation | Atomicity_violation -> true
+  | Ordering_violation | Atomicity_violation | Missing_flush_warning -> true
   | Unrecoverable_state | Recovery_crash | Durability_bug | Redundant_flush
   | Redundant_fence | Dirty_overwrite -> false
 
 let kind_is_correctness = function
   | Unrecoverable_state | Recovery_crash | Durability_bug | Dirty_overwrite -> true
   | Redundant_flush | Redundant_fence | Transient_data_warning | Multi_store_flush_warning
-  | Unordered_flushes_warning | Ordering_violation | Atomicity_violation -> false
+  | Unordered_flushes_warning | Ordering_violation | Atomicity_violation
+  | Missing_flush_warning -> false
 
 let kind_to_string = function
   | Unrecoverable_state -> "unrecoverable state"
@@ -39,8 +42,9 @@ let kind_to_string = function
   | Unordered_flushes_warning -> "unordered flushes (warning)"
   | Ordering_violation -> "ordering violation (warning)"
   | Atomicity_violation -> "atomicity violation (warning)"
+  | Missing_flush_warning -> "missing flush (warning)"
 
-type phase = Fault_injection | Trace_analysis | Static_analysis
+type phase = Fault_injection | Trace_analysis | Static_analysis | Lint
 
 type finding = {
   kind : kind;
@@ -56,9 +60,15 @@ type t = {
   target : string;
   mutable findings : finding list; (* newest first *)
   dedup : (string, unit) Hashtbl.t;
+  annotations : (string, string) Hashtbl.t;
+      (* finding key -> note rendered under the finding (fix verdicts).
+         A side-table rather than a finding field: annotations arrive after
+         deduplication and must not perturb the content signature the
+         differential tests compare. *)
 }
 
-let create ~target = { target; findings = []; dedup = Hashtbl.create 64 }
+let create ~target =
+  { target; findings = []; dedup = Hashtbl.create 64; annotations = Hashtbl.create 8 }
 
 (* Uniqueness: same kind reached through the same code path is the same
    bug, regardless of how many dynamic instances the workload produced. *)
@@ -99,9 +109,16 @@ let signature t =
 
 let equal a b = List.equal String.equal (signature a) (signature b)
 
+let annotate t f note = Hashtbl.replace t.annotations (finding_key f) note
+let annotation t f = Hashtbl.find_opt t.annotations (finding_key f)
+
 let pp_finding ppf f =
   Fmt.pf ppf "[%s] %s: %s%s%s"
-    (match f.phase with Fault_injection -> "FI" | Trace_analysis -> "TA" | Static_analysis -> "SA")
+    (match f.phase with
+    | Fault_injection -> "FI"
+    | Trace_analysis -> "TA"
+    | Static_analysis -> "SA"
+    | Lint -> "LINT")
     (kind_to_string f.kind) f.detail
     (match f.stack with
     | Some c -> "\n    at " ^ Pmtrace.Callstack.capture_to_string c
@@ -115,5 +132,10 @@ let pp ppf t =
   let bugs = bugs t and warnings = warnings t in
   Fmt.pf ppf "=== Mumak report for %s ===@." t.target;
   Fmt.pf ppf "%d unique bug(s), %d warning(s)@." (List.length bugs) (List.length warnings);
-  List.iter (fun f -> Fmt.pf ppf "%a@." pp_finding f) bugs;
-  List.iter (fun f -> Fmt.pf ppf "%a@." pp_finding f) warnings
+  let pp_one f =
+    Fmt.pf ppf "%a" pp_finding f;
+    (match annotation t f with Some note -> Fmt.pf ppf "\n    verdict: %s" note | None -> ());
+    Fmt.pf ppf "@."
+  in
+  List.iter pp_one bugs;
+  List.iter pp_one warnings

@@ -15,12 +15,14 @@ type kind =
       (** static analysis: a likely persist-ordering invariant is violated *)
   | Atomicity_violation
       (** static analysis: locations that usually persist atomically were split *)
+  | Missing_flush_warning
+      (** lint: a fence leaves a line dirty that is never flushed afterwards *)
 
 val kind_is_warning : kind -> bool
 val kind_is_correctness : kind -> bool
 val kind_to_string : kind -> string
 
-type phase = Fault_injection | Trace_analysis | Static_analysis
+type phase = Fault_injection | Trace_analysis | Static_analysis | Lint
 
 type finding = {
   kind : kind;
@@ -56,6 +58,13 @@ val signature : t -> string list
 
 val equal : t -> t -> bool
 (** [equal a b] iff the two reports have identical signatures. *)
+
+val annotate : t -> finding -> string -> unit
+(** Attach a note (a fix verdict, say) rendered under the finding by {!pp}.
+    Annotations live in a side-table: they arrive after deduplication and
+    do not perturb {!signature}. *)
+
+val annotation : t -> finding -> string option
 
 val pp_finding : Format.formatter -> finding -> unit
 val pp : Format.formatter -> t -> unit

@@ -18,6 +18,11 @@ type t = {
   mutable pending_nt : (int * bytes) list; (* (addr, data), newest first *)
   mutable hook : (Op.t -> unit) option;
   mutable trace_loads : bool;
+  mutable op_count : int; (* instrumentation events emitted so far *)
+  mutable poison_rev : (int * int * int) list;
+      (* (op_count at poison time, addr, size), newest first: the replay
+         side-channel that lets a trace interpreter re-apply allocator
+         poison at the right interleaving positions *)
   stats : Stats.t;
 }
 
@@ -32,6 +37,8 @@ let create ?(eadr = false) ~size () =
     pending_nt = [];
     hook = None;
     trace_loads = false;
+    op_count = 0;
+    poison_rev = [];
     stats = Stats.create ();
   }
 
@@ -47,7 +54,12 @@ let set_hook t hook = t.hook <- hook
 let hook_installed t = t.hook <> None
 let trace_loads t flag = t.trace_loads <- flag
 
-let emit t op = match t.hook with None -> () | Some f -> f op
+(* [op_count] advances on every emission point whether or not a hook is
+   installed, so poison-log positions line up with the events a collecting
+   tracer records for the same execution. *)
+let emit t op =
+  t.op_count <- t.op_count + 1;
+  match t.hook with None -> () | Some f -> f op
 
 let check_bounds t addr size =
   if addr < 0 || size <= 0 || addr + size > Image.size t.image then
@@ -121,7 +133,10 @@ let poison t ~addr ~size =
   (* no event, no stats: this models memory contents that predate the
      program's stores; it lands in the overlay so loads and crash images
      observe it *)
+  t.poison_rev <- (t.op_count, addr, size) :: t.poison_rev;
   write_cached t ~addr (Bytes.make size '\xdd')
+
+let poison_log t = List.rev t.poison_rev
 
 let load t ~addr ~size =
   check_bounds t addr size;
@@ -140,6 +155,22 @@ let load t ~addr ~size =
 
 let load_i64 t ~addr = Bytes.get_int64_le (load t ~addr ~size:8) 0
 
+(* Instrumentation-free read of the program's view of memory: no event, no
+   counter. This is how the trace recorder snoops store payloads without
+   perturbing the trace or the statistics it must later reproduce. *)
+let peek t ~addr ~size =
+  check_bounds t addr size;
+  let out = Bytes.create size in
+  List.iter
+    (fun line ->
+      let base = Addr.line_base line in
+      let lo = max addr base and hi = min (addr + size) (base + Addr.line_size) in
+      match Hashtbl.find_opt t.lines line with
+      | Some ls -> Bytes.blit ls.data (lo - base) out (lo - addr) (hi - lo)
+      | None -> Image.blit_from t.image ~src_addr:lo ~dst:out ~dst_off:(lo - addr) ~len:(hi - lo))
+    (Addr.lines_spanned ~addr ~size);
+  out
+
 let volatile_addr t addr = addr < 0 || addr >= Image.size t.image
 
 (* Persist the captured [content] of [line] into the image, clipping to the
@@ -149,9 +180,7 @@ let persist_line_content t line content =
   let avail = min Addr.line_size (Image.size t.image - base) in
   if avail > 0 then Image.blit_to t.image ~dst_addr:base ~src:content ~src_off:0 ~len:avail
 
-let flush_one t kind ~addr =
-  let line = Addr.line_of addr in
-  let vol = volatile_addr t addr in
+let flush_line_vol t kind ~line ~vol =
   let dirty =
     (not vol)
     && match Hashtbl.find_opt t.lines line with Some ls -> ls.dirty | None -> false
@@ -180,6 +209,15 @@ let flush_one t kind ~addr =
             Hashtbl.replace t.pending line (Bytes.copy ls.data);
             ls.dirty <- false;
             if kind = Op.Clflushopt then Hashtbl.replace t.invalidate_on_fence line ())
+
+let flush_one t kind ~addr =
+  flush_line_vol t kind ~line:(Addr.line_of addr) ~vol:(volatile_addr t addr)
+
+(* Replay entry point: the recorded [Op.Flush] already names the line and
+   whether the original address was volatile, so re-applying it must not
+   re-derive either from an address (the line base of a volatile address can
+   alias a real pool line). *)
+let flush_line t ~kind ~line ~volatile = flush_line_vol t kind ~line ~vol:volatile
 
 let clflush t ~addr = flush_one t Op.Clflush ~addr
 let clflushopt t ~addr = flush_one t Op.Clflushopt ~addr
@@ -228,6 +266,12 @@ let drain t kind =
 
 let sfence t = drain t Op.Sfence
 let mfence t = drain t Op.Mfence
+
+(* The fence half of a recorded RMW, without the load/store half: replay
+   re-applies the store from the recorded event stream and then drains with
+   the matching fence kind so statistics and pending-queue behavior agree
+   with the original [cas]/[fetch_add]. *)
+let rmw_fence t = drain t Op.Rmw
 
 let cas t ~addr ~expected ~desired =
   check_bounds t addr 8;

@@ -72,6 +72,18 @@ val store_nt_i64 : t -> addr:int -> int64 -> unit
 val load : t -> addr:int -> size:int -> bytes
 val load_i64 : t -> addr:int -> int64
 
+val peek : t -> addr:int -> size:int -> bytes
+(** The program's current view of [size] bytes at [addr] {e without}
+    emitting a load event or bumping any counter. This is how the trace
+    recorder snoops store payloads for replay without perturbing the trace
+    or the statistics it must later reproduce. *)
+
+val poison_log : t -> (int * int * int) list
+(** Every {!poison} call so far as [(op_count, addr, size)], oldest first,
+    where [op_count] is the number of instrumentation events emitted before
+    the poison landed. Lets a replayer re-apply allocator poison at the
+    right positions between recorded events. *)
+
 (** {1 Persistency instructions} *)
 
 val clflush : t -> addr:int -> unit
@@ -88,8 +100,20 @@ val clwb : t -> addr:int -> unit
 val flush_range : t -> kind:Op.flush_kind -> addr:int -> size:int -> unit
 (** Flush every line spanned by [size] bytes at [addr]. *)
 
+val flush_line : t -> kind:Op.flush_kind -> line:int -> volatile:bool -> unit
+(** Re-apply a recorded flush exactly as the original executed it: the
+    recorded {!Op.Flush} already names the [line] and whether the flushed
+    address was [volatile], so replay must not re-derive either from an
+    address. *)
+
 val sfence : t -> unit
 val mfence : t -> unit
+
+val rmw_fence : t -> unit
+(** The fence half of a recorded RMW ({!cas}/{!fetch_add}): drains pending
+    flushes and non-temporal stores and counts as an RMW in the statistics,
+    without performing the load/store half (replay re-applies that from the
+    recorded store event). *)
 
 val cas : t -> addr:int -> expected:int64 -> desired:int64 -> bool
 (** Compare-and-swap on an 8-byte slot; carries fence semantics (drains

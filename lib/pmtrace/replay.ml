@@ -1,0 +1,341 @@
+(** Deterministic trace replay: re-apply a recorded execution (optionally
+    rewritten) against a fresh device, reproducing the device statistics,
+    crash images and failure points of the original run without re-running
+    the target program.
+
+    A recorded {!Event.t} stream is not self-contained: events carry
+    addresses and sizes but no store payloads, and allocator poison
+    ({!Pmem.Device.poison}) is deliberately invisible to instrumentation.
+    {!record} therefore captures two side-channels alongside the trace:
+
+    - {e payloads}: the recorder snoops every store's bytes with
+      {!Pmem.Device.peek} at the next instrumentation hook — the hook runs
+      before its own instruction takes effect, so by then the previous
+      store (and nothing later) has been applied;
+    - {e poison}: the device logs each poison call with the number of
+      events emitted before it, letting the recorder weave poison back
+      between the right events.
+
+    One known approximation: a poison overlapping a store that is still
+    pending payload resolution snoops the poisoned bytes. For cached
+    stores the replayed poison re-applies the same bytes immediately
+    after, so images agree anyway; only a non-temporal store whose buffered
+    payload is poisoned before the next event could diverge — a pattern
+    the allocator (which only poisons freshly carved, not-yet-stored-to
+    chunks) never produces. *)
+
+type item = Ev of Event.t | Poison of { addr : int; size : int }
+
+type t = {
+  items : item list;  (** execution order; poison woven between events *)
+  payloads : (int, bytes) Hashtbl.t;  (** store event seq -> bytes written *)
+  pool_size : int;
+  eadr : bool;
+  loads : bool;  (** the recording traced PM loads *)
+  stats : Pmem.Stats.t;  (** device counters at the end of the recorded run *)
+}
+
+let events t =
+  List.filter_map (function Ev e -> Some e | Poison _ -> None) t.items
+
+(* Weave poison entries (op_count = events emitted before the poison,
+   oldest first) back between the recorded events. *)
+let weave evs poisons =
+  let rec go evs poisons =
+    match (evs, poisons) with
+    | evs, [] -> List.map (fun e -> Ev e) evs
+    | [], ps -> List.map (fun (_, addr, size) -> Poison { addr; size }) ps
+    | e :: es, (c, addr, size) :: ps ->
+        if c < e.Event.seq then Poison { addr; size } :: go evs ps
+        else Ev e :: go es poisons
+  in
+  go evs poisons
+
+let record ?(loads = false) ?(eadr = false) ~pool_size run =
+  Telemetry.Collector.span ~cat:"replay" "record" @@ fun () ->
+  let device = Pmem.Device.create ~eadr ~size:pool_size () in
+  Pmem.Device.trace_loads device loads;
+  let tracer = Tracer.create ~collect:true ~with_stacks:true device in
+  let payloads = Hashtbl.create 1024 in
+  let unresolved = ref None in
+  let resolve () =
+    match !unresolved with
+    | None -> ()
+    | Some (seq, addr, size) ->
+        Hashtbl.replace payloads seq (Pmem.Device.peek device ~addr ~size);
+        unresolved := None
+  in
+  Tracer.add_listener tracer (fun e _stack ->
+      (* the hook runs before [e] takes effect: the previous store has been
+         applied, the current one has not *)
+      resolve ();
+      match e.Event.op with
+      | Pmem.Op.Store { addr; size; _ } -> unresolved := Some (e.Event.seq, addr, size)
+      | _ -> ());
+  run ~device ~framer:(Framer.of_callstack (Tracer.stack tracer));
+  resolve ();
+  Tracer.detach tracer;
+  {
+    items = weave (Trace.to_list (Tracer.trace tracer)) (Pmem.Device.poison_log device);
+    payloads;
+    pool_size;
+    eadr;
+    loads;
+    stats = Pmem.Stats.copy (Pmem.Device.stats device);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Stop
+
+let apply t device (e : Event.t) =
+  match e.Event.op with
+  | Pmem.Op.Store { addr; size; nt } ->
+      let b =
+        match Hashtbl.find_opt t.payloads e.Event.seq with
+        | Some b -> b
+        | None -> Bytes.make size '\000' (* no payload recorded: zero fill *)
+      in
+      if nt then Pmem.Device.store_nt device ~addr b
+      else Pmem.Device.store device ~addr b
+  | Pmem.Op.Flush { kind; line; volatile; _ } ->
+      (* dirty is recomputed by the device; line/volatile are properties of
+         the flushed address, which no rewrite changes *)
+      Pmem.Device.flush_line device ~kind ~line ~volatile
+  | Pmem.Op.Fence { kind; _ } -> (
+      match kind with
+      | Pmem.Op.Sfence -> Pmem.Device.sfence device
+      | Pmem.Op.Mfence -> Pmem.Device.mfence device
+      | Pmem.Op.Rmw -> Pmem.Device.rmw_fence device)
+  | Pmem.Op.Load { addr; size } -> ignore (Pmem.Device.load device ~addr ~size)
+
+(* The single interpreter loop behind [replay] and [normalize]. [on_event]
+   fires {e before} the event is applied — the hook discipline of the live
+   device, so a crash image captured there is the state a fault at that
+   instruction leaves behind. [pseq] is the persistency index (1-based
+   count of non-load events, the coordinate system of the offline
+   analyses). *)
+let run ?hook ?on_event ?after_event t =
+  let device = Pmem.Device.create ~eadr:t.eadr ~size:t.pool_size () in
+  Pmem.Device.trace_loads device t.loads;
+  (match hook with Some h -> Pmem.Device.set_hook device (Some h) | None -> ());
+  let pseq = ref 0 in
+  (try
+     List.iter
+       (fun item ->
+         match item with
+         | Poison { addr; size } -> Pmem.Device.poison device ~addr ~size
+         | Ev e ->
+             (match e.Event.op with Pmem.Op.Load _ -> () | _ -> incr pseq);
+             (match on_event with Some f -> f device ~pseq:!pseq e | None -> ());
+             apply t device e;
+             (match after_event with Some f -> f e | None -> ()))
+       t.items
+   with Stop -> ());
+  device
+
+let replay ?on_event t =
+  Telemetry.Collector.span ~cat:"replay" ~hist:"replay_ns" "replay" @@ fun () ->
+  run ?on_event t
+
+(* Field-wise statistics comparison. [loads] only when the recording traced
+   loads: an untraced recording still counts the program's loads (including
+   the internal reads of [cas]/[fetch_add]) in the original run, but leaves
+   no events for replay to re-apply. *)
+let stats_match t (s : Pmem.Stats.t) =
+  let r = t.stats in
+  r.Pmem.Stats.stores = s.Pmem.Stats.stores
+  && r.Pmem.Stats.nt_stores = s.Pmem.Stats.nt_stores
+  && ((not t.loads) || r.Pmem.Stats.loads = s.Pmem.Stats.loads)
+  && r.Pmem.Stats.clflush = s.Pmem.Stats.clflush
+  && r.Pmem.Stats.clflushopt = s.Pmem.Stats.clflushopt
+  && r.Pmem.Stats.clwb = s.Pmem.Stats.clwb
+  && r.Pmem.Stats.sfence = s.Pmem.Stats.sfence
+  && r.Pmem.Stats.mfence = s.Pmem.Stats.mfence
+  && r.Pmem.Stats.rmw = s.Pmem.Stats.rmw
+  && r.Pmem.Stats.bytes_written = s.Pmem.Stats.bytes_written
+  && r.Pmem.Stats.high_water_mark = s.Pmem.Stats.high_water_mark
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type edit =
+  | Insert_flush_after of { pseq : int; line : int }
+  | Insert_fence_after of { pseq : int }
+  | Delete_flush_at of { pseq : int }
+  | Delete_fence_at of { pseq : int }
+
+let edit_to_string = function
+  | Insert_flush_after { pseq; line } ->
+      Printf.sprintf "insert flush of line %d after #%d" line pseq
+  | Insert_fence_after { pseq } -> Printf.sprintf "insert fence after #%d" pseq
+  | Delete_flush_at { pseq } -> Printf.sprintf "delete flush at #%d" pseq
+  | Delete_fence_at { pseq } -> Printf.sprintf "delete fence at #%d" pseq
+
+let edit_anchor = function
+  | Insert_flush_after { pseq; _ }
+  | Insert_fence_after { pseq }
+  | Delete_flush_at { pseq }
+  | Delete_fence_at { pseq } -> pseq
+
+(* Synthesized events get placeholder negative seqs (renumbered away by
+   [renumber]) and no stack: the offline failure-point detector skips
+   stackless events, so an inserted instruction never mints new failure
+   points — it only changes which states the surrounding ones can
+   observe. *)
+let rewrite_items items edits =
+  let synth = ref 0 in
+  let fresh_seq () = decr synth; !synth in
+  let applied = Hashtbl.create (List.length edits) in
+  let at p =
+    List.filter (fun ed -> edit_anchor ed = p) edits
+    (* flush-before-fence: an Insert_flush fix expands to flush + fence and
+       the flush must precede the fence that drains it *)
+    |> List.stable_sort (fun a b ->
+           let rank = function
+             | Delete_flush_at _ | Delete_fence_at _ -> 0
+             | Insert_flush_after _ -> 1
+             | Insert_fence_after _ -> 2
+           in
+           compare (rank a) (rank b))
+  in
+  let synth_of = function
+    | Insert_flush_after { line; _ } ->
+        Some
+          (Ev
+             {
+               Event.seq = fresh_seq ();
+               op = Pmem.Op.Flush { kind = Pmem.Op.Clwb; line; dirty = true; volatile = false };
+               stack = None;
+             })
+    | Insert_fence_after _ ->
+        Some
+          (Ev
+             {
+               Event.seq = fresh_seq ();
+               op = Pmem.Op.Fence { kind = Pmem.Op.Sfence; pending_flushes = 0; pending_nt = 0 };
+               stack = None;
+             })
+    | Delete_flush_at _ | Delete_fence_at _ -> None
+  in
+  let pseq = ref 0 in
+  let out = ref [] in
+  let push x = out := x :: !out in
+  List.iter
+    (fun item ->
+      match item with
+      | Poison _ -> push item
+      | Ev (({ Event.op = Pmem.Op.Load _; _ } as _e)) -> push item
+      | Ev e ->
+          incr pseq;
+          (* edits anchor on the persistency index, which loads don't
+             advance: consulting [at] on a load would re-apply the previous
+             anchor's insertions once per trailing load *)
+          let here = at !pseq in
+          let deleted =
+            List.exists
+              (fun ed ->
+                match (ed, e.Event.op) with
+                | Delete_flush_at _, Pmem.Op.Flush _ | Delete_fence_at _, Pmem.Op.Fence _ ->
+                    Hashtbl.replace applied (edit_to_string ed) ();
+                    true
+                | _ -> false)
+              here
+          in
+          if not deleted then push item;
+          List.iter
+            (fun ed ->
+              match synth_of ed with
+              | Some s ->
+                  Hashtbl.replace applied (edit_to_string ed) ();
+                  push s
+              | None -> ())
+            here)
+    items;
+  List.iter
+    (fun ed ->
+      if not (Hashtbl.mem applied (edit_to_string ed)) then
+        Fmt.failwith "Replay.rewrite: edit did not apply: %s" (edit_to_string ed))
+    edits;
+  List.rev !out
+
+(* Reassign consecutive 1-based seqs after a rewrite, so the rewritten
+   trace satisfies the same invariant a recorded one does (seq = emission
+   index; for load-free traces, seq = persistency index). The offline
+   analyses index stacks by seq, so leaving original seqs in place would
+   mis-anchor every event past an insertion. Store payload keys are
+   remapped along (stores are never synthesized or deleted). *)
+let renumber items payloads =
+  let map = Hashtbl.create 64 in
+  let n = ref 0 in
+  let items =
+    List.map
+      (function
+        | Poison _ as x -> x
+        | Ev e ->
+            incr n;
+            (match e.Event.op with
+            | Pmem.Op.Store _ -> Hashtbl.replace map e.Event.seq !n
+            | _ -> ());
+            Ev { e with Event.seq = !n })
+      items
+  in
+  let payloads' = Hashtbl.create (max 16 (Hashtbl.length payloads)) in
+  Hashtbl.iter
+    (fun old b ->
+      match Hashtbl.find_opt map old with
+      | Some fresh -> Hashtbl.replace payloads' fresh b
+      | None -> ())
+    payloads;
+  (items, payloads')
+
+let rewrite t edits =
+  (* [stats] is kept from the original recording: a rewritten trace has
+     different true counters, recomputed by whoever replays it *)
+  let items, payloads = renumber (rewrite_items t.items edits) t.payloads in
+  { t with items; payloads }
+
+let rewrite_events evs edits =
+  let items, _ =
+    renumber (rewrite_items (List.map (fun e -> Ev e) evs) edits) (Hashtbl.create 1)
+  in
+  List.filter_map (function Ev e -> Some e | Poison _ -> None) items
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* After a rewrite the recorded per-event metadata is stale: a fence's
+   [pending_flushes] still counts a deleted flush, a flush's [dirty] bit
+   predates an inserted one. Replaying the stream and capturing what the
+   device re-emits yields the same events with metadata recomputed —
+   every driven event emits exactly one op, so the streams zip. On an
+   unmodified recording this is the identity (the replay-lossless
+   property the tests assert). *)
+let normalize t =
+  let out = ref [] in
+  let current = ref None in
+  let hook op = current := Some op in
+  let after_event (e : Event.t) =
+    match !current with
+    | Some op ->
+        current := None;
+        out := { e with Event.op } :: !out
+    | None -> Fmt.failwith "Replay.normalize: event #%d re-emitted nothing" e.Event.seq
+  in
+  ignore (run ~hook ~after_event t);
+  List.rev !out
+
+let normalize_events ?(loads = false) ?(eadr = false) ~pool_size evs =
+  normalize
+    {
+      items = List.map (fun e -> Ev e) evs;
+      payloads = Hashtbl.create 16;
+      pool_size;
+      eadr;
+      loads;
+      stats = Pmem.Stats.create ();
+    }

@@ -1,0 +1,92 @@
+(** Deterministic trace replay: re-apply a recorded execution (optionally
+    rewritten) against a fresh device, reproducing device statistics, crash
+    images and failure points without re-running the target program.
+
+    Events alone are not self-contained — they carry no store payloads, and
+    allocator poison is invisible to instrumentation — so a {!t} couples the
+    event stream with two recorder-captured side-channels: per-store
+    payloads (snooped with {!Pmem.Device.peek} at the next hook, when the
+    store has just applied) and the poison log woven back between events. *)
+
+type item = Ev of Event.t | Poison of { addr : int; size : int }
+
+type t = {
+  items : item list;  (** execution order; poison woven between events *)
+  payloads : (int, bytes) Hashtbl.t;  (** store event seq -> bytes written *)
+  pool_size : int;
+  eadr : bool;
+  loads : bool;  (** the recording traced PM loads *)
+  stats : Pmem.Stats.t;  (** device counters at the end of the recorded run *)
+}
+
+val record :
+  ?loads:bool ->
+  ?eadr:bool ->
+  pool_size:int ->
+  (device:Pmem.Device.t -> framer:Framer.t -> unit) ->
+  t
+(** One fully-instrumented execution of [run] (stacks on every event),
+    capturing the trace plus the payload and poison side-channels. *)
+
+val events : t -> Event.t list
+(** The recorded events in execution order, poison entries dropped. *)
+
+exception Stop
+(** Raise from [on_event] to end a replay early (after a crash image has
+    been captured, say). *)
+
+val replay : ?on_event:(Pmem.Device.t -> pseq:int -> Event.t -> unit) -> t -> Pmem.Device.t
+(** [replay t] re-applies the recording to a fresh device and returns it.
+    [on_event] fires {e before} each event is applied — the hook discipline
+    of the live device, so [Pmem.Device.crash] called there yields the
+    image a fault at that instruction leaves behind. [pseq] is the
+    persistency index (1-based count of non-load events), the coordinate
+    system of the offline analyses. *)
+
+val stats_match : t -> Pmem.Stats.t -> bool
+(** Do the replayed device counters equal the recorded run's?  [loads] is
+    only compared when the recording traced loads: an untraced recording
+    counts the original program's loads (including the internal reads of
+    [cas]/[fetch_add]) but leaves no load events to re-apply. *)
+
+(** {1 Rewriting} *)
+
+(** A trace edit, anchored at a persistency index of the {e original}
+    trace (anchors never shift as edits accumulate; deleted events still
+    consume their index). *)
+type edit =
+  | Insert_flush_after of { pseq : int; line : int }
+      (** insert [clwb line] right after the anchor event *)
+  | Insert_fence_after of { pseq : int }
+      (** insert [sfence] right after the anchor event *)
+  | Delete_flush_at of { pseq : int }  (** drop the flush at the anchor *)
+  | Delete_fence_at of { pseq : int }  (** drop the fence at the anchor *)
+
+val edit_to_string : edit -> string
+
+val rewrite : t -> edit list -> t
+(** Apply every edit, then renumber seqs consecutively from 1 (remapping
+    payload keys along), so the rewritten trace satisfies the same
+    [seq = emission index] invariant a recorded one does. Synthesized
+    events carry no stack — the offline failure-point detector skips
+    stackless events, so an insertion never mints new failure points.
+    Raises if an edit's anchor does not name an event of the required kind.
+    The result's [stats] field still describes the original recording. *)
+
+val rewrite_events : Event.t list -> edit list -> Event.t list
+(** {!rewrite} over a bare event list (e.g. a load-traced recording whose
+    side-channels are not needed). *)
+
+(** {1 Normalization} *)
+
+val normalize : t -> Event.t list
+(** Replay the recording and return its events with the device-recomputed
+    metadata (flush [dirty]/[volatile] bits, fence pending counts): after a
+    rewrite the recorded metadata is stale — a fence's [pending_flushes]
+    still counts a deleted flush. On an unmodified recording this is the
+    identity (the replay-lossless property the tests assert). *)
+
+val normalize_events :
+  ?loads:bool -> ?eadr:bool -> pool_size:int -> Event.t list -> Event.t list
+(** {!normalize} over a bare event list (payloads replay as zero fill,
+    which metadata recomputation never reads). *)
