@@ -340,7 +340,8 @@ let kind_class (k : Mumak.Report.kind) : Bugreg.taxonomy option =
   | Mumak.Report.Transient_data_warning -> Some Bugreg.Transient_data
   | Mumak.Report.Missing_flush_warning -> Some Bugreg.Durability
   | Mumak.Report.Multi_store_flush_warning | Mumak.Report.Unordered_flushes_warning
-  | Mumak.Report.Ordering_violation | Mumak.Report.Atomicity_violation -> None
+  | Mumak.Report.Ordering_violation | Mumak.Report.Atomicity_violation
+  | Mumak.Report.Missing_fence_warning -> None
 
 let count_kind report taxonomy =
   List.length
@@ -872,6 +873,159 @@ let lint_bench () =
      replaying a recorded trace is faster than re-executing the target under \
      instrumentation -- the case for verifying fixes by trace rewrite.@."
 
+(* Absint prune: clean-target skip rates plus the seeded soundness
+   differential. Per clean target: failure points, nominated/confirmed/
+   rejected/skipped counts and the pruned-vs-unpruned injection and wall
+   time deltas. Then the seeded-bug matrix (a representative subset in
+   smoke mode): the pruned report signature must equal the unpruned one on
+   every row — a mismatch is a soundness regression and is printed as
+   such. *)
+let absint_bench () =
+  section "Absint prune: proven-safe skip rates and soundness differential";
+  bench_telemetry_begin ();
+  let ops = if smoke then 60 else 200 in
+  let key_range = if smoke then 25 else 80 in
+  let wl = Workload.standard ~ops ~key_range ~seed:42L in
+  let version_for app =
+    if String.equal app "hashmap_atomic" then Pmalloc.Version.V1_6
+    else Pmalloc.Version.V1_12
+  in
+  let target_of component () =
+    match component with
+    | "pmalloc" ->
+        Targets.of_app
+          (Option.get (Pmapps.Registry.find "btree"))
+          ~tx_mode:(Targets.Grouped 64)
+          ~workload:(Workload.standard ~ops:(max ops 120) ~key_range ~seed:42L)
+          ()
+    | "montage" -> Targets.of_montage ~variant:`Buffered ~workload:wl ()
+    | app ->
+        Targets.of_app
+          (Option.get (Pmapps.Registry.find app))
+          ~version:(version_for app) ~workload:wl ()
+  in
+  (* the unpruned baseline keeps the abstract interpreter on — its findings
+     are part of the report — and only turns the skipping off *)
+  let unpruned =
+    { Mumak.Config.default with strategy = Mumak.Config.Reexecute; absint = true }
+  in
+  let pruned = { unpruned with Mumak.Config.prune = true } in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let plan_of (r : Mumak.Engine.result) =
+    match r.Mumak.Engine.absint with
+    | Some { Mumak.Engine.prune = Some plan; _ } -> plan
+    | _ -> failwith "pruned run carries no prune plan"
+  in
+  let rows = ref [] and signature = ref [] in
+  (* --- clean targets: how much injection work does the proof retire? --- *)
+  let clean = [ "wort"; "btree"; "level_hash"; "cceh"; "art" ] in
+  let clean = if smoke then [ "wort"; "btree" ] else clean in
+  Fmt.pr "%-12s %6s %6s %6s %6s %6s %7s %9s %9s@." "target" "points" "proven"
+    "confd" "rejd" "skip" "skip%" "t.full(s)" "t.prune(s)";
+  let best_fraction = ref 0. in
+  List.iter
+    (fun app ->
+      let base, t_full =
+        time (fun () -> Mumak.Engine.analyze ~config:unpruned (target_of app ()))
+      in
+      let r, t_prune =
+        time (fun () -> Mumak.Engine.analyze ~config:pruned (target_of app ()))
+      in
+      let plan = plan_of r in
+      let skipped = List.length plan.Analysis.Prune.skip in
+      let fraction = Analysis.Prune.skip_fraction plan in
+      if fraction > !best_fraction then best_fraction := fraction;
+      let sound =
+        Mumak.Report.signature base.Mumak.Engine.report
+        = Mumak.Report.signature r.Mumak.Engine.report
+      in
+      if not sound then Fmt.pr "REGRESSION: %s pruned report differs@." app;
+      signature := Mumak.Report.signature r.Mumak.Engine.report;
+      Fmt.pr "%-12s %6d %6d %6d %6d %6d %6.1f%% %9.2f %9.2f@." app
+        plan.Analysis.Prune.total plan.Analysis.Prune.proven
+        plan.Analysis.Prune.confirmed plan.Analysis.Prune.rejected skipped
+        (100. *. fraction) t_full t_prune;
+      rows :=
+        Telemetry.Json.Assoc
+          [
+            ("kind", Telemetry.Json.String "clean");
+            ("target", Telemetry.Json.String app);
+            ("failure_points", Telemetry.Json.Int plan.Analysis.Prune.total);
+            ("proven", Telemetry.Json.Int plan.Analysis.Prune.proven);
+            ("confirmed", Telemetry.Json.Int plan.Analysis.Prune.confirmed);
+            ("rejected", Telemetry.Json.Int plan.Analysis.Prune.rejected);
+            ("skipped", Telemetry.Json.Int skipped);
+            ("skip_fraction", Telemetry.Json.Float fraction);
+            ("injections_unpruned", Telemetry.Json.Int base.Mumak.Engine.injections);
+            ("injections_pruned", Telemetry.Json.Int r.Mumak.Engine.injections);
+            ("signatures_equal", Telemetry.Json.Bool sound);
+            ("unpruned_wall_seconds", Telemetry.Json.Float t_full);
+            ("pruned_wall_seconds", Telemetry.Json.Float t_prune);
+            ("metrics", phase_metrics r);
+          ]
+        :: !rows)
+    clean;
+  (* --- seeded matrix: prune must never change what is found --- *)
+  let bugs = Pmapps.Registry.all_bugs @ Pmalloc.Bugs.all @ Montage.Mt_alloc.bugs in
+  let bugs =
+    if smoke then
+      List.filter
+        (fun b ->
+          List.mem b.Bugreg.id
+            [
+              "wort_link_uninitialized_node"; "btree_insert_no_tx";
+              "hm_atomic_count_never_flushed"; "montage_alloc_head_unpersisted";
+            ])
+        bugs
+    else bugs
+  in
+  Fmt.pr "@.%-32s %-14s %6s %6s %6s %9s@." "seeded bug" "component" "skip"
+    "rejd" "bugs" "sound";
+  let unsound = ref [] in
+  List.iter
+    (fun b ->
+      Bugreg.with_enabled [ b.Bugreg.id ] (fun () ->
+          let base = Mumak.Engine.analyze ~config:unpruned (target_of b.Bugreg.component ()) in
+          let r = Mumak.Engine.analyze ~config:pruned (target_of b.Bugreg.component ()) in
+          let plan = plan_of r in
+          let sound =
+            Mumak.Report.signature base.Mumak.Engine.report
+            = Mumak.Report.signature r.Mumak.Engine.report
+          in
+          if not sound then unsound := b.Bugreg.id :: !unsound;
+          signature := Mumak.Report.signature r.Mumak.Engine.report;
+          Fmt.pr "%-32s %-14s %6d %6d %6d %9s@." b.Bugreg.id b.Bugreg.component
+            (List.length plan.Analysis.Prune.skip)
+            plan.Analysis.Prune.rejected
+            (List.length (Mumak.Report.correctness_bugs r.Mumak.Engine.report))
+            (if sound then "yes" else "NO");
+          rows :=
+            Telemetry.Json.Assoc
+              [
+                ("kind", Telemetry.Json.String "seeded");
+                ("bug", Telemetry.Json.String b.Bugreg.id);
+                ("component", Telemetry.Json.String b.Bugreg.component);
+                ("skipped", Telemetry.Json.Int (List.length plan.Analysis.Prune.skip));
+                ("rejected", Telemetry.Json.Int plan.Analysis.Prune.rejected);
+                ("signatures_equal", Telemetry.Json.Bool sound);
+              ]
+            :: !rows))
+    bugs;
+  write_bench ~experiment:"absint" ~target:"clean-and-seeded-matrix"
+    ~config:pruned ~rows:(List.rev !rows) ~signature:!signature;
+  Fmt.pr "@.best clean-target skip fraction: %.1f%% (acceptance bar: 20%%)@."
+    (100. *. !best_fraction);
+  match !unsound with
+  | [] -> Fmt.pr "pruned and unpruned reports agree on every row@."
+  | ids ->
+      Fmt.pr "REGRESSION: pruning changed the report for: %a@."
+        Fmt.(list ~sep:comma string)
+        (List.rev ids)
+
 let experiments =
   [
     ("table1", table1);
@@ -886,6 +1040,7 @@ let experiments =
     ("scaling", scaling);
     ("prioritized", prioritized);
     ("lint", lint_bench);
+    ("absint", absint_bench);
     ("micro", micro);
   ]
 

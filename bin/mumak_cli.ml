@@ -34,7 +34,7 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
 let run name ops key_range seed version_str grouped strategy_str bugs no_warnings
-    store_level jobs static lint verify_fixes trace_out metrics_out progress =
+    store_level jobs static lint verify_fixes absint prune trace_out metrics_out progress =
   let version =
     match version_str with
     | "1.6" -> Pmalloc.Version.V1_6
@@ -51,10 +51,13 @@ let run name ops key_range seed version_str grouped strategy_str bugs no_warning
         registry_names
   | Some target ->
       let jobs = max 1 jobs in
+      (* --prune skips injections, which only exist under re-execution, and
+         needs the abstract fixpoint to nominate them *)
+      let absint = absint || prune in
       let strategy =
-        (* --static needs the trace recordings and --jobs the partitionable
-           injection loop; both only exist under re-execution *)
-        if static || jobs > 1 then Mumak.Config.Reexecute
+        (* --static/--absint need the trace recordings and --jobs the
+           partitionable injection loop; both only exist under re-execution *)
+        if static || absint || jobs > 1 then Mumak.Config.Reexecute
         else
           match strategy_str with
           | "snapshot" -> Mumak.Config.Snapshot
@@ -77,6 +80,8 @@ let run name ops key_range seed version_str grouped strategy_str bugs no_warning
              covers every fix suggestion the run produced *)
           lint = lint || verify_fixes;
           verify_fixes;
+          absint;
+          prune;
         }
       in
       if trace_out <> None || metrics_out <> None then Telemetry.Collector.enable ();
@@ -158,6 +163,27 @@ let lint_arg =
            hot spots, each with a code path, a concrete fix and an estimated \
            cycles/events saving. Costs one extra instrumented execution.")
 
+let absint_arg =
+  Arg.(
+    value & flag
+    & info [ "absint" ]
+        ~doc:
+          "Merge the recorded traces into one control-flow automaton and \
+           abstract-interpret it with a per-cache-line persistency lattice: \
+           reports missing-flush / missing-fence / ordering findings on \
+           merged paths no single recording exercised, each with a concrete \
+           path witness. Implies --strategy reexecute.")
+
+let prune_arg =
+  Arg.(
+    value & flag
+    & info [ "prune" ]
+        ~doc:
+          "Skip fault injections the abstract fixpoint proves safe on every \
+           merged path, after confirming each skipped point's replayed crash \
+           image against the recovery oracle offline — the report is \
+           byte-identical to the unpruned run. Implies --absint.")
+
 let verify_fixes_arg =
   Arg.(
     value & flag
@@ -201,8 +227,8 @@ let analyze_term =
   Term.(
     const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
     $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg
-    $ jobs_arg $ static_arg $ lint_arg $ verify_fixes_arg $ trace_out_arg
-    $ metrics_out_arg $ progress_arg)
+    $ jobs_arg $ static_arg $ lint_arg $ verify_fixes_arg $ absint_arg $ prune_arg
+    $ trace_out_arg $ metrics_out_arg $ progress_arg)
 
 let analyze_cmd =
   let doc = "Detect crash-consistency and performance bugs in a PM application." in

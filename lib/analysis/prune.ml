@@ -1,0 +1,84 @@
+(** Sound failure-point pruning driven by the abstract fixpoint.
+
+    Two tiers keep the prune conservative (DESIGN.md decision 11):
+
+    {e Nomination} — the abstract criterion. A failure point is nominated
+    when {!Absint} proves that on every merged path into the site, every
+    line dirtied before the current store epoch is persisted. Crash images
+    are program-prefix cuts, so at such a point the image differs from a
+    graceful shutdown only by the current epoch's stores. This is
+    necessary but not sufficient: a prefix cut can still expose a torn
+    multi-epoch operation whose earlier epochs persisted cleanly (e.g.
+    publishing a pointer to not-yet-initialized memory), which no
+    flush/fence state distinguishes from a clean epilogue.
+
+    {e Confirmation} — the decisive check. Each nominee's crash image is
+    materialized offline from the deterministic trace replay
+    ({!Pmtrace.Replay}) and judged by the recovery oracle; only a nominee
+    whose image the oracle finds consistent is skipped. Because the
+    replayed image is byte-identical to the one live injection would
+    produce (the PR 4 replay differential), a skipped point is one whose
+    injection record is known to be [Consistent] — which contributes no
+    finding — so the pruned report signature equals the unpruned one by
+    construction. Everything unproven or unconfirmed falls back to live
+    injection.
+
+    The payoff is that confirmation costs one oracle run over an
+    in-memory replayed image, while the injection it replaces costs a full
+    target re-execution. *)
+
+type nomination = {
+  n_ordinal : int;  (** failure-point discovery ordinal *)
+  n_pseq : int;  (** persistency index of the point's first occurrence *)
+  n_capture : Pmtrace.Callstack.capture;
+  n_proven : bool;  (** abstract criterion held at the site *)
+}
+
+type plan = {
+  nominations : nomination list;  (** every failure point, in ordinal order *)
+  total : int;  (** failure points considered *)
+  proven : int;  (** nominated by the abstract criterion *)
+  confirmed : int;  (** nominees whose replayed image the oracle accepted *)
+  rejected : int;  (** nominees the oracle refused — fall back to injection *)
+  skip : int list;  (** ordinals to skip, sorted *)
+}
+
+(** [nominate ~proven_safe points] — tag each offline failure point
+    (ordinal, pseq, capture) with the abstract verdict for its site. *)
+let nominate ~proven_safe points =
+  List.map
+    (fun (ordinal, pseq, capture) ->
+      { n_ordinal = ordinal; n_pseq = pseq; n_capture = capture; n_proven = proven_safe capture })
+    points
+
+(** [decide ~confirmed nominations] — fold the oracle confirmations
+    (keyed by ordinal; only consulted for proven nominees) into the final
+    plan. *)
+let decide ~confirmed nominations =
+  let total = List.length nominations in
+  let proven = List.length (List.filter (fun n -> n.n_proven) nominations) in
+  let skip =
+    List.filter_map
+      (fun n -> if n.n_proven && confirmed n.n_ordinal then Some n.n_ordinal else None)
+      nominations
+    |> List.sort_uniq compare
+  in
+  let confirmed_count = List.length skip in
+  {
+    nominations;
+    total;
+    proven;
+    confirmed = confirmed_count;
+    rejected = proven - confirmed_count;
+    skip;
+  }
+
+let skip_fraction plan =
+  if plan.total = 0 then 0.0
+  else float_of_int (List.length plan.skip) /. float_of_int plan.total
+
+let pp ppf plan =
+  Fmt.pf ppf
+    "prune: proven-safe %d/%d failure points (confirmed %d, rejected %d), skipping %d \
+     injection(s)"
+    plan.proven plan.total plan.confirmed plan.rejected (List.length plan.skip)

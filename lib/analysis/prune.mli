@@ -1,0 +1,40 @@
+(** Sound failure-point pruning driven by the abstract fixpoint.
+
+    Two tiers: {!Absint} {e nominates} a failure point when every merged
+    path into it has all pre-epoch dirty lines persisted; the engine then
+    {e confirms} each nominee by materializing its crash image from the
+    deterministic trace replay and running the recovery oracle. Only
+    confirmed-consistent points are skipped — their injection records are
+    known to contribute no finding, so the pruned report signature equals
+    the unpruned one by construction. Anything unproven or unconfirmed
+    falls back to live injection. *)
+
+type nomination = {
+  n_ordinal : int;  (** failure-point discovery ordinal *)
+  n_pseq : int;  (** persistency index of the point's first occurrence *)
+  n_capture : Pmtrace.Callstack.capture;
+  n_proven : bool;  (** abstract criterion held at the site *)
+}
+
+type plan = {
+  nominations : nomination list;  (** every failure point, in ordinal order *)
+  total : int;  (** failure points considered *)
+  proven : int;  (** nominated by the abstract criterion *)
+  confirmed : int;  (** nominees whose replayed image the oracle accepted *)
+  rejected : int;  (** nominees the oracle refused — fall back to injection *)
+  skip : int list;  (** ordinals to skip, sorted *)
+}
+
+val nominate :
+  proven_safe:(Pmtrace.Callstack.capture -> bool) ->
+  (int * int * Pmtrace.Callstack.capture) list ->
+  nomination list
+(** Tag each offline failure point (ordinal, pseq, capture) with the
+    abstract verdict for its site. *)
+
+val decide : confirmed:(int -> bool) -> nomination list -> plan
+(** Fold oracle confirmations (by ordinal; consulted only for proven
+    nominees) into the final plan. *)
+
+val skip_fraction : plan -> float
+val pp : Format.formatter -> plan -> unit

@@ -67,6 +67,19 @@ type t = {
           detectors: verdicts proven / ineffective / harmful. Costs two
           extra instrumented executions (replay recordings) and replays —
           never target re-executions. *)
+  absint : bool;
+      (** abstract-interpret a control-flow automaton merged from
+          [invariant_runs] recordings with a per-cache-line persistency
+          lattice: reports missing-flush/missing-fence/ordering findings on
+          merged paths no single recording exercised (each with a concrete
+          path witness) and proves failure-point sites safe for [prune] *)
+  prune : bool;
+      (** skip a fault injection when the abstract fixpoint proves the
+          failure point safe on every merged path AND the point's replayed
+          crash image passes the recovery oracle offline — sound by
+          construction: only injections whose records are known to be
+          consistent (contributing no finding) are elided. Requires
+          [absint]; ignored under [Snapshot]. *)
 }
 
 let default =
@@ -86,6 +99,8 @@ let default =
     jobs = 1;
     lint = false;
     verify_fixes = false;
+    absint = false;
+    prune = false;
   }
 
 let granularity_name = function
@@ -117,6 +132,8 @@ let to_json t =
       ("jobs", Int t.jobs);
       ("lint", Bool t.lint);
       ("verify_fixes", Bool t.verify_fixes);
+      ("absint", Bool t.absint);
+      ("prune", Bool t.prune);
     ]
 
 (** [default] plus the full static pipeline: dependency-graph analysis,
@@ -127,6 +144,10 @@ let static_analysis = { default with strategy = Reexecute; static = true; priori
 (** The lint pipeline: anti-pattern detectors plus verified fix
     suggestions, alongside the default dynamic phases. *)
 let linting = { default with lint = true; verify_fixes = true }
+
+(** The merged-trace abstract interpreter plus confirmed failure-point
+    pruning over the re-execution injection loop. *)
+let path_sensitive = { default with strategy = Reexecute; absint = true; prune = true }
 
 (** The configuration the benchmarks use to mirror the original system's
     cost model. *)

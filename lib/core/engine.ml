@@ -2,6 +2,14 @@
     the recovery oracle, analyse the trace, and emit one combined report of
     unique bugs and warnings. *)
 
+(** Output of the abstract-interpretation phase: the fixpoint analysis
+    itself plus, when [Config.prune] was on, the failure-point prune plan
+    the injection loop honoured. *)
+type absint = {
+  analysis : Analysis.Absint.t;
+  prune : Analysis.Prune.plan option;
+}
+
 type result = {
   report : Report.t;
   failure_points : int;
@@ -18,6 +26,12 @@ type result = {
   static : Analysis.Static.t option;
       (** the static analyzer's output (graphs, invariants, raw findings)
           when [Config.static] was on *)
+  absint : absint option;
+      (** merged-CFG abstract interpreter output (and prune plan) when
+          [Config.absint] or [Config.prune] was on *)
+  ai_metrics : Metrics.t;
+      (** abstract-interpretation phase (recordings + fixpoint + prune
+          confirmation); [Metrics.zero] when the phase is off *)
   lint : Analysis.Lint.t option;
       (** anti-pattern detector output when [Config.lint] or
           [Config.verify_fixes] was on (verification replays lint too) *)
@@ -87,6 +101,14 @@ let static_kind_to_report : Analysis.Static.kind -> Report.kind = function
   | Analysis.Static.Redundant_flush -> Report.Redundant_flush
   | Analysis.Static.Redundant_fence -> Report.Redundant_fence
 
+(* Abstract findings live on merged paths no single recording need have
+   exercised, so — like the static analyzer's — they are warnings: the
+   over-approximation must not flip a clean target's exit code. *)
+let absint_kind_to_report : Analysis.Absint.kind -> Report.kind = function
+  | Analysis.Absint.Missing_flush -> Report.Missing_flush_warning
+  | Analysis.Absint.Missing_fence -> Report.Missing_fence_warning
+  | Analysis.Absint.Ordering -> Report.Ordering_violation
+
 let lint_kind_to_report : Analysis.Lint.kind -> Report.kind = function
   | Analysis.Lint.Duplicate_flush | Analysis.Lint.Unnecessary_flush
   | Analysis.Lint.Nt_flush_misuse -> Report.Redundant_flush
@@ -116,8 +138,8 @@ let analyze ?(config = Config.default) (target : Target.t) =
   (* Phase 0 (optional): offline static analysis over recorded traces —
      dependency graphs, invariant mining, fix suggestions, and the
      invariant-guided priority over failure points. *)
-  let static_result, priority, sa_metrics, static_executions =
-    if not config.Config.static then (None, None, Metrics.zero, 0)
+  let static_result, static_noload, priority, sa_metrics, static_executions =
+    if not config.Config.static then (None, None, None, Metrics.zero, 0)
     else begin
       Telemetry.Progress.phase "static";
       let runs = max 1 config.Config.invariant_runs in
@@ -148,9 +170,114 @@ let analyze ?(config = Config.default) (target : Target.t) =
                static_r.Analysis.Static.hot_windows points)
         else None
       in
-      (Some static_r, priority, sa_metrics, 2 * runs)
+      (Some static_r, Some (List.map fst recordings), priority, sa_metrics, 2 * runs)
     end
   in
+  (* Phase 0b (optional): merge [invariant_runs] recordings into one
+     control-flow automaton and abstract-interpret it with the per-line
+     persistency lattice — merged-path findings plus per-site safety
+     proofs. Reuses the static phase's load-free recordings when both
+     phases are on. *)
+  let absint_analysis, ai_executions, ai_phase_metrics =
+    if not (config.Config.absint || config.Config.prune) then (None, 0, Metrics.zero)
+    else begin
+      Telemetry.Progress.phase "absint";
+      let runs = max 1 config.Config.invariant_runs in
+      let (a, fresh), ai_phase_metrics =
+        Metrics.measure (fun () ->
+            Telemetry.Collector.span ~cat:"phase" "absint" @@ fun () ->
+            let recordings, fresh =
+              match static_noload with
+              | Some rs -> (rs, 0)
+              | None ->
+                  ( List.init runs (fun _ ->
+                        record_trace ~loads:false ~eadr:config.Config.eadr target),
+                    runs )
+            in
+            (Analysis.Absint.analyze ~eadr:config.Config.eadr recordings, fresh))
+      in
+      Telemetry.Collector.count "absint.nodes"
+        (Analysis.Cfg.node_count a.Analysis.Absint.cfg);
+      Telemetry.Collector.count "absint.findings" (List.length a.Analysis.Absint.findings);
+      Telemetry.Collector.count "absint.proven_sites" (Analysis.Absint.proven_count a);
+      (Some a, fresh, ai_phase_metrics)
+    end
+  in
+  (* Phase 0b': conservative failure-point pruning. The abstract fixpoint
+     nominates points whose site is safe on every merged path; each
+     nominee's crash image is then materialized offline from a deterministic
+     trace replay and judged by the recovery oracle, and only
+     confirmed-consistent points are skipped. A skipped injection's record
+     is known to be [Consistent] — contributing no finding — so the pruned
+     report signature equals the unpruned one by construction; everything
+     unproven or unconfirmed falls back to live injection. *)
+  let prune_plan, prune_executions, prune_metrics =
+    match absint_analysis with
+    | Some a when config.Config.prune && config.Config.strategy = Config.Reexecute ->
+        Telemetry.Progress.phase "prune";
+        let plan, prune_metrics =
+          Metrics.measure (fun () ->
+              Telemetry.Collector.span ~cat:"phase" "prune" @@ fun () ->
+              let run ~device ~framer = target.Target.run ~device ~framer in
+              let recording =
+                Pmtrace.Replay.record ~loads:false ~eadr:config.Config.eadr
+                  ~pool_size:target.Target.pool_size run
+              in
+              let points =
+                Fault_injection.offline_points config (Pmtrace.Replay.events recording)
+              in
+              let nominations =
+                Analysis.Prune.nominate
+                  ~proven_safe:(Analysis.Absint.proven_safe_at a)
+                  points
+              in
+              (* Materialize every nominee's crash image in a single replay
+                 pass: live injection crashes at the point's first dynamic
+                 occurrence, i.e. just before the event at its persistency
+                 index applies. *)
+              let wanted = Hashtbl.create 32 in
+              List.iter
+                (fun (n : Analysis.Prune.nomination) ->
+                  if n.Analysis.Prune.n_proven then
+                    Hashtbl.replace wanted n.Analysis.Prune.n_pseq n.Analysis.Prune.n_ordinal)
+                nominations;
+              let images = Hashtbl.create 32 in
+              (try
+                 ignore
+                   (Pmtrace.Replay.replay
+                      ~on_event:(fun device ~pseq _ ->
+                        match Hashtbl.find_opt wanted pseq with
+                        | Some ordinal ->
+                            Hashtbl.replace images ordinal
+                              (Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix);
+                            Hashtbl.remove wanted pseq;
+                            if Hashtbl.length wanted = 0 then raise Pmtrace.Replay.Stop
+                        | None -> ())
+                      recording)
+               with Pmtrace.Replay.Stop -> ());
+              let confirmed ordinal =
+                match Hashtbl.find_opt images ordinal with
+                | None -> false
+                | Some image -> (
+                    match
+                      Oracle.classify target.Target.recover
+                        (Pmem.Device.of_image ~eadr:config.Config.eadr image)
+                    with
+                    | Oracle.Consistent -> true
+                    | Oracle.Unrecoverable _ | Oracle.Crashed _ -> false)
+              in
+              Analysis.Prune.decide ~confirmed nominations)
+        in
+        Telemetry.Collector.count "absint.proven_safe" plan.Analysis.Prune.proven;
+        Telemetry.Collector.count "absint.skipped" (List.length plan.Analysis.Prune.skip);
+        Telemetry.Collector.count "absint.confirm_rejected" plan.Analysis.Prune.rejected;
+        (Some plan, 1, prune_metrics)
+    | Some _ | None -> (None, 0, Metrics.zero)
+  in
+  let absint_result =
+    Option.map (fun a -> { analysis = a; prune = prune_plan }) absint_analysis
+  in
+  let ai_metrics = Metrics.add ai_phase_metrics prune_metrics in
   (* Phase 0c (optional): anti-pattern lint over a replay recording, plus
      replay-backed verification of every fix suggestion (static and lint).
      Costs one replay recording for lint, a second (load-traced) one for
@@ -246,8 +373,11 @@ let analyze ?(config = Config.default) (target : Target.t) =
             in
             Telemetry.Progress.set_total (Fp_tree.size tree);
             Telemetry.Progress.phase "inject";
+            let skip =
+              Option.map (fun p -> p.Analysis.Prune.skip) prune_plan
+            in
             ( Telemetry.Collector.span ~cat:"phase" "injection" (fun () ->
-                  Fault_injection.inject_reexecute ?priority config target tree),
+                  Fault_injection.inject_reexecute ?priority ?skip config target tree),
               stats ))
   in
   (* GC counters are domain-local: fold what the injection workers
@@ -305,6 +435,28 @@ let analyze ?(config = Config.default) (target : Target.t) =
                 fix = f.Analysis.Static.fix;
               })
         s.Analysis.Static.findings);
+  (* Abstract-interpretation findings ride after the static ones so a
+     fix-carrying static finding at the same site wins deduplication (the
+     report key is kind + code path, phase-blind by design). *)
+  (match absint_result with
+  | None -> ()
+  | Some a ->
+      List.iter
+        (fun (f : Analysis.Absint.finding) ->
+          let kind = absint_kind_to_report f.Analysis.Absint.f_kind in
+          let is_warning = Report.kind_is_warning kind in
+          if (not is_warning) || config.Config.report_warnings then
+            ignore
+              (Report.add report
+                 {
+                   Report.kind;
+                   phase = Report.Abs_interp;
+                   stack = f.Analysis.Absint.f_site;
+                   seq = Some f.Analysis.Absint.f_pseq;
+                   detail = f.Analysis.Absint.f_detail;
+                   fix = None;
+                 }))
+        a.analysis.Analysis.Absint.findings);
   (match lint_result with
   | Some l when config.Config.lint ->
       List.iter
@@ -362,15 +514,19 @@ let analyze ?(config = Config.default) (target : Target.t) =
       executions =
         fi_result.Fault_injection.executions
         + (if config.Config.resolve_stacks then 1 else 0)
-        + static_executions + lv_executions;
+        + static_executions + lv_executions + ai_executions + prune_executions;
       trace_events = Trace_analysis.event_count ta;
       pm_stats;
       metrics =
-        Metrics.add (Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics) lv_metrics;
+        Metrics.add
+          (Metrics.add (Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics) lv_metrics)
+          ai_metrics;
       fi_metrics;
       ta_metrics;
       sa_metrics;
       static = static_result;
+      absint = absint_result;
+      ai_metrics;
       lint = lint_result;
       fix_verdicts;
       first_bug_injection = Fault_injection.injections_to_first_bug fi_result;
@@ -394,6 +550,13 @@ let pp_result ppf r =
   Fmt.pf ppf "%a@.failure points: %d, injections: %d, executions: %d, trace events: %d@.%a@."
     Report.pp r.report r.failure_points r.injections r.executions r.trace_events Metrics.pp
     r.metrics;
+  (match r.absint with
+  | Some a -> (
+      Fmt.pf ppf "%a@." Analysis.Absint.pp a.analysis;
+      match a.prune with
+      | Some plan -> Fmt.pf ppf "%a@." Analysis.Prune.pp plan
+      | None -> ())
+  | None -> ());
   (match r.lint with
   | Some l ->
       Fmt.pf ppf

@@ -2,6 +2,14 @@
     with the recovery oracle, analyse the trace, and emit one combined
     report of unique bugs and warnings. *)
 
+(** Output of the abstract-interpretation phase: the merged-CFG fixpoint
+    analysis plus, when [Config.prune] was on under [Reexecute], the
+    failure-point prune plan the injection loop honoured. *)
+type absint = {
+  analysis : Analysis.Absint.t;
+  prune : Analysis.Prune.plan option;
+}
+
 type result = {
   report : Report.t;
   failure_points : int;  (** unique leaves of the failure-point tree *)
@@ -21,6 +29,12 @@ type result = {
   static : Analysis.Static.t option;
       (** the static analyzer's output (graphs, invariants, raw findings)
           when [Config.static] was on *)
+  absint : absint option;
+      (** merged-CFG abstract interpreter output (and prune plan) when
+          [Config.absint] or [Config.prune] was on *)
+  ai_metrics : Metrics.t;
+      (** abstract-interpretation phase (recordings + fixpoint + prune
+          confirmation); [Metrics.zero] when the phase is off *)
   lint : Analysis.Lint.t option;
       (** anti-pattern detector output when [Config.lint] or
           [Config.verify_fixes] was on (verification replays lint too) *)

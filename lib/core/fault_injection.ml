@@ -269,7 +269,7 @@ let sort_records =
    assignment. Workers share no mutable state: each execution creates its
    own device and tracer, and the ambient framer/transaction state is
    domain-local. *)
-let inject_parallel ?priority config (target : Target.t) tree ~jobs =
+let inject_parallel ?priority ?(skip = []) config (target : Target.t) tree ~jobs =
   let serialized = Fp_tree.serialize tree in
   (* Without a priority, leaves are partitioned round-robin by ordinal.
      With one, they are partitioned round-robin by *rank* in the priority
@@ -285,6 +285,10 @@ let inject_parallel ?priority config (target : Target.t) tree ~jobs =
   let worker w () =
     Metrics.measure (fun () ->
         let local = Fp_tree.deserialize serialized in
+        (* Serialization does not carry visit state: pruned leaves must be
+           re-marked on each worker's private tree. *)
+        Fp_tree.iter local (fun p ->
+            if List.mem p.Fp_tree.ordinal skip then p.Fp_tree.visited <- true);
         match shares with
         | None ->
             Fp_tree.iter local (fun p ->
@@ -332,8 +336,12 @@ let inject_parallel ?priority config (target : Target.t) tree ~jobs =
     that many worker domains — each fault injection is an independent
     re-execution, so the leaves are partitioned round-robin by ordinal and
     the per-worker records merged back in ordinal order, making the result
-    byte-for-byte identical to the sequential schedule. *)
-let inject_reexecute ?priority config (target : Target.t) tree =
+    byte-for-byte identical to the sequential schedule. [skip] lists the
+    ordinals of failure points proven safe offline ({!Analysis.Prune}):
+    they are marked visited up front and never injected. *)
+let inject_reexecute ?priority ?(skip = []) config (target : Target.t) tree =
+  Fp_tree.iter tree (fun p ->
+      if List.mem p.Fp_tree.ordinal skip then p.Fp_tree.visited <- true);
   (* never spawn more domains than there are leaves to inject *)
   let jobs = max 1 (min config.Config.jobs (max 1 (Fp_tree.size tree))) in
   if jobs = 1 then begin
@@ -350,7 +358,7 @@ let inject_reexecute ?priority config (target : Target.t) tree =
       worker_metrics = [];
     }
   end
-  else inject_parallel ?priority config target tree ~jobs
+  else inject_parallel ?priority ~skip config target tree ~jobs
 
 (** Simulator-only optimisation ([Config.Snapshot]): a single execution in
     which each new failure point immediately snapshots its crash image and

@@ -60,7 +60,8 @@ val offline_points :
     {!build_tree} assigns on a live execution of the same deterministic
     workload, so scores computed offline address the live tree. *)
 
-val inject_reexecute : ?priority:int list -> Config.t -> Target.t -> Fp_tree.t -> result
+val inject_reexecute :
+  ?priority:int list -> ?skip:int list -> Config.t -> Target.t -> Fp_tree.t -> result
 (** The paper's injection loop: re-execute the workload until every leaf is
     visited, one fault per execution (steps 6–9 of Figure 1). With
     [Config.jobs > 1] the leaves are partitioned round-robin by ordinal
@@ -75,7 +76,11 @@ val inject_reexecute : ?priority:int list -> Config.t -> Target.t -> Fp_tree.t -
     therefore the same program-prefix image, the unprioritized loop crashes
     at — so the set of records is unchanged and only
     [result.injection_order] differs. Leaves the priority misses are swept
-    by the standard loop afterwards. *)
+    by the standard loop afterwards.
+
+    [skip] (failure-point ordinals) marks points proven safe offline
+    ({!Analysis.Prune}) as visited before the loop starts, sequentially and
+    on every worker's private tree alike, so they are never injected. *)
 
 val inject_snapshot :
   ?extra_listener:(Pmtrace.Event.t -> Pmtrace.Callstack.t -> unit) ->

@@ -17,10 +17,14 @@ type kind =
       (** static analysis: locations that usually persist atomically were split *)
   | Missing_flush_warning
       (** lint: a fence leaves a line dirty that is never flushed afterwards *)
+  | Missing_fence_warning
+      (** abstract interpretation: a flush can reach the end of execution
+          with no fence draining it on some merged path *)
 
 let kind_is_warning = function
   | Transient_data_warning | Multi_store_flush_warning | Unordered_flushes_warning
-  | Ordering_violation | Atomicity_violation | Missing_flush_warning -> true
+  | Ordering_violation | Atomicity_violation | Missing_flush_warning
+  | Missing_fence_warning -> true
   | Unrecoverable_state | Recovery_crash | Durability_bug | Redundant_flush
   | Redundant_fence | Dirty_overwrite -> false
 
@@ -28,7 +32,7 @@ let kind_is_correctness = function
   | Unrecoverable_state | Recovery_crash | Durability_bug | Dirty_overwrite -> true
   | Redundant_flush | Redundant_fence | Transient_data_warning | Multi_store_flush_warning
   | Unordered_flushes_warning | Ordering_violation | Atomicity_violation
-  | Missing_flush_warning -> false
+  | Missing_flush_warning | Missing_fence_warning -> false
 
 let kind_to_string = function
   | Unrecoverable_state -> "unrecoverable state"
@@ -43,8 +47,9 @@ let kind_to_string = function
   | Ordering_violation -> "ordering violation (warning)"
   | Atomicity_violation -> "atomicity violation (warning)"
   | Missing_flush_warning -> "missing flush (warning)"
+  | Missing_fence_warning -> "missing fence (warning)"
 
-type phase = Fault_injection | Trace_analysis | Static_analysis | Lint
+type phase = Fault_injection | Trace_analysis | Static_analysis | Abs_interp | Lint
 
 type finding = {
   kind : kind;
@@ -92,6 +97,56 @@ let add t f =
   end
 
 let findings t = List.rev t.findings
+
+let phase_rank = function
+  | Fault_injection -> 0
+  | Trace_analysis -> 1
+  | Static_analysis -> 2
+  | Abs_interp -> 3
+  | Lint -> 4
+
+let kind_rank = function
+  | Unrecoverable_state -> 0
+  | Recovery_crash -> 1
+  | Durability_bug -> 2
+  | Redundant_flush -> 3
+  | Redundant_fence -> 4
+  | Dirty_overwrite -> 5
+  | Transient_data_warning -> 6
+  | Multi_store_flush_warning -> 7
+  | Unordered_flushes_warning -> 8
+  | Ordering_violation -> 9
+  | Atomicity_violation -> 10
+  | Missing_flush_warning -> 11
+  | Missing_fence_warning -> 12
+
+(* Deterministic rendering order across phases: (phase, frame anchor,
+   ordinal, kind), with the detail text as the final tiebreak. [findings]
+   keeps insertion order (the combination order the engine chose); what the
+   user reads must not depend on it. *)
+let finding_order a b =
+  let anchor f =
+    match f.stack with Some c -> String.concat ">" c.Pmtrace.Callstack.path | None -> ""
+  in
+  let ordinal f =
+    match f.stack with
+    | Some c -> c.Pmtrace.Callstack.op_index
+    | None -> Option.value f.seq ~default:max_int
+  in
+  match compare (phase_rank a.phase) (phase_rank b.phase) with
+  | 0 -> (
+      match String.compare (anchor a) (anchor b) with
+      | 0 -> (
+          match compare (ordinal a) (ordinal b) with
+          | 0 -> (
+              match compare (kind_rank a.kind) (kind_rank b.kind) with
+              | 0 -> String.compare a.detail b.detail
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let ordered t = List.sort finding_order (findings t)
 let bugs t = List.filter (fun f -> not (kind_is_warning f.kind)) (findings t)
 let warnings t = List.filter (fun f -> kind_is_warning f.kind) (findings t)
 let correctness_bugs t = List.filter (fun f -> kind_is_correctness f.kind) (bugs t)
@@ -118,6 +173,7 @@ let pp_finding ppf f =
     | Fault_injection -> "FI"
     | Trace_analysis -> "TA"
     | Static_analysis -> "SA"
+    | Abs_interp -> "AI"
     | Lint -> "LINT")
     (kind_to_string f.kind) f.detail
     (match f.stack with
@@ -129,7 +185,9 @@ let pp_finding ppf f =
     | None -> "")
 
 let pp ppf t =
-  let bugs = bugs t and warnings = warnings t in
+  let all = ordered t in
+  let bugs = List.filter (fun f -> not (kind_is_warning f.kind)) all
+  and warnings = List.filter (fun f -> kind_is_warning f.kind) all in
   Fmt.pf ppf "=== Mumak report for %s ===@." t.target;
   Fmt.pf ppf "%d unique bug(s), %d warning(s)@." (List.length bugs) (List.length warnings);
   let pp_one f =

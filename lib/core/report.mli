@@ -17,12 +17,15 @@ type kind =
       (** static analysis: locations that usually persist atomically were split *)
   | Missing_flush_warning
       (** lint: a fence leaves a line dirty that is never flushed afterwards *)
+  | Missing_fence_warning
+      (** abstract interpretation: a flush can reach the end of execution
+          with no fence draining it on some merged path *)
 
 val kind_is_warning : kind -> bool
 val kind_is_correctness : kind -> bool
 val kind_to_string : kind -> string
 
-type phase = Fault_injection | Trace_analysis | Static_analysis | Lint
+type phase = Fault_injection | Trace_analysis | Static_analysis | Abs_interp | Lint
 
 type finding = {
   kind : kind;
@@ -43,6 +46,13 @@ val add : t -> finding -> bool
     is already present; returns whether it was new. *)
 
 val findings : t -> finding list
+(** Insertion order (the combination order the engine chose). *)
+
+val ordered : t -> finding list
+(** Deterministic rendering order across phases: sorted by (phase, frame
+    anchor, ordinal, kind), detail as the final tiebreak. {!pp} renders in
+    this order so the printed report never depends on insertion order. *)
+
 val bugs : t -> finding list
 val warnings : t -> finding list
 val correctness_bugs : t -> finding list

@@ -1,0 +1,34 @@
+(** The frame-announcement interface applications compile against.
+
+    An application under test wraps each function body in [framer.frame
+    "name"]; with no tool attached the framer is a no-op, and under
+    instrumentation it maintains the call stack the failure-point tree is
+    built from. This is the only concession applications make to the
+    black-box tooling — the moral equivalent of being a binary Pin can
+    walk. *)
+
+type t = { frame : 'a. string -> (unit -> 'a) -> 'a }
+
+val null : t
+(** The no-op framer: runs the body without announcing anything. *)
+
+val of_callstack : Callstack.t -> t
+(** A framer backed by an explicit call stack. *)
+
+val ambient : t Domain.DLS.key
+(** The ambient framer: library internals (allocator, logs) announce their
+    loop bodies through it so that one code location stays one instruction
+    identity regardless of iteration count — the way real instruction
+    addresses behave. The workload driver installs the instrumented framer
+    here for the duration of a run.
+
+    Domain-local: the parallel injection scheduler re-executes targets on
+    worker domains, each of which must see only its own instrumented
+    framer. A fresh domain starts with the no-op framer. *)
+
+val in_ambient : string -> (unit -> 'a) -> 'a
+(** Announce a frame through the ambient framer of the current domain. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install [t] as ambient for the duration of [f] (on this domain only);
+    the previous framer is restored on return or exception. *)

@@ -1,0 +1,35 @@
+(** An in-memory trace of PM accesses, collected during one execution of the
+    workload and consumed in a single pass by the analyses. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Event.t -> unit
+(** Append one event (O(1); the trace keeps insertion order). *)
+
+val length : t -> int
+val clear : t -> unit
+
+val iter : t -> (Event.t -> unit) -> unit
+(** [iter t f] applies [f] to every event in execution order. *)
+
+val fold : t -> 'a -> ('a -> Event.t -> 'a) -> 'a
+(** [fold t init f] folds over events in execution order. *)
+
+val to_list : t -> Event.t list
+(** Events in execution order. *)
+
+val approx_size_words : t -> int
+(** Approximate resident size of the trace in words, for the Table 2
+    resource accounting. *)
+
+val serialize : t -> string
+(** [serialize t] renders the trace, one event per line, in execution
+    order — the analogue of the trace file the original Mumak writes
+    between the tracing and analysis processes. Stacks (when collected)
+    round-trip. *)
+
+val deserialize : string -> t
+(** [deserialize s] rebuilds a trace serialized by {!serialize}. Raises
+    [Failure] on malformed input. *)
