@@ -55,14 +55,18 @@ let run name ops key_range seed version_str grouped strategy_str bugs no_warning
          needs the abstract fixpoint to nominate them *)
       let absint = absint || prune in
       let strategy =
-        (* --static/--absint need the trace recordings and --jobs the
-           partitionable injection loop; both only exist under re-execution *)
-        if static || absint || jobs > 1 then Mumak.Config.Reexecute
+        (* --static needs invariant-guided prioritization, which targets the
+           live re-execution loop; --absint/--prune and --jobs work under
+           replay (the default) or reexecute, so a snapshot request is
+           upgraded to replay when they are on *)
+        if static then Mumak.Config.Reexecute
         else
           match strategy_str with
-          | "snapshot" -> Mumak.Config.Snapshot
+          | "replay" -> Mumak.Config.Replay
+          | "snapshot" ->
+              if absint || jobs > 1 then Mumak.Config.Replay else Mumak.Config.Snapshot
           | "reexecute" -> Mumak.Config.Reexecute
-          | s -> usage_error "unknown strategy %s (snapshot | reexecute)" s
+          | s -> usage_error "unknown strategy %s (replay | snapshot | reexecute)" s
       in
       let config =
         {
@@ -128,7 +132,13 @@ let version_arg =
 let grouped_arg =
   Arg.(value & flag & info [ "grouped" ] ~doc:"Group puts in enclosing transactions (non-SPT).")
 let strategy_arg =
-  Arg.(value & opt string "snapshot" & info [ "strategy" ] ~doc:"snapshot | reexecute.")
+  Arg.(
+    value & opt string "replay"
+    & info [ "strategy" ]
+        ~doc:
+          "replay | snapshot | reexecute. The default, replay, records the \
+           workload once and materializes every failure point's crash image \
+           offline from that recording.")
 let bugs_arg =
   Arg.(value & opt_all string [] & info [ "enable-bug" ] ~doc:"Enable a seeded bug id.")
 let no_warnings_arg = Arg.(value & flag & info [ "no-warnings" ] ~doc:"Suppress warnings.")
@@ -139,8 +149,8 @@ let jobs_arg =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for the re-execute injection loop (1 = sequential). \
-           Reports are identical for any N; N > 1 implies --strategy reexecute.")
+          "Worker domains for the replay/re-execute injection loop (1 = \
+           sequential). Reports are identical for any N.")
 
 let static_arg =
   Arg.(
@@ -172,7 +182,7 @@ let absint_arg =
            abstract-interpret it with a per-cache-line persistency lattice: \
            reports missing-flush / missing-fence / ordering findings on \
            merged paths no single recording exercised, each with a concrete \
-           path witness. Implies --strategy reexecute.")
+           path witness.")
 
 let prune_arg =
   Arg.(

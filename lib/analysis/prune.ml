@@ -23,9 +23,14 @@
     construction. Everything unproven or unconfirmed falls back to live
     injection.
 
-    The payoff is that confirmation costs one oracle run over an
-    in-memory replayed image, while the injection it replaces costs a full
-    target re-execution. *)
+    The payoff is that confirmation is batched: all nominees are judged in
+    a single forward pass of {!Pmtrace.Replay.materialize} over the shared
+    recording — one rolling prefix image, one copy-on-write view per
+    nominee — while each injection it replaces costs a full target
+    re-execution. Under the replay-first default the confirmation pass
+    folds into the injection pass itself, so pruning is never slower than
+    the unpruned run (asserted by [test_absint.ml] and the absint bench's
+    REGRESSION check). *)
 
 type nomination = {
   n_ordinal : int;  (** failure-point discovery ordinal *)

@@ -7,6 +7,12 @@ type granularity =
   | Store_level  (** failure points at every PM store (the ablation) *)
 
 type strategy =
+  | Replay
+      (** record the workload once, materialize every failure point's crash
+          image offline from that single recording in one batched
+          prefix-incremental replay pass, and stream the oracle over the
+          images; live re-execution remains only as a per-point fallback
+          for points the recording cannot reach (the default) *)
   | Snapshot
       (** capture the crash image at first visit during a single execution
           (simulator-only optimisation) *)
@@ -50,9 +56,10 @@ type t = {
       (** minimum fraction of instances that must satisfy a candidate
           atomicity invariant for it to be reported when violated *)
   jobs : int;
-      (** worker domains for the [Reexecute] injection loop. Each fault
-          injection is an independent re-execution against its own crash
-          image, so the loop is embarrassingly parallel; [jobs > 1]
+      (** worker domains for the [Replay] and [Reexecute] injection loops.
+          Each fault injection is independent — a materialization pass over
+          the shared immutable recording, or a re-execution against its own
+          device — so the loop is embarrassingly parallel; [jobs > 1]
           partitions the failure-point leaves round-robin over that many
           domains and merges the records deterministically (sorted by
           discovery ordinal). [1] (the default) is the sequential loop;
@@ -78,14 +85,18 @@ type t = {
           failure point safe on every merged path AND the point's replayed
           crash image passes the recovery oracle offline — sound by
           construction: only injections whose records are known to be
-          consistent (contributing no finding) are elided. Requires
-          [absint]; ignored under [Snapshot]. *)
+          consistent (contributing no finding) are elided. Under [Replay]
+          the confirmation folds into the injection pass itself (each
+          point's oracle outcome is computed anyway); under [Reexecute] all
+          nominees are confirmed in one batched materialization pass over
+          the shared recording. Requires [absint]; ignored under
+          [Snapshot]. *)
 }
 
 let default =
   {
     granularity = Persistency_instruction;
-    strategy = Snapshot;
+    strategy = Replay;
     report_warnings = true;
     resolve_stacks = true;
     detect_dirty_overwrites = false;
@@ -107,7 +118,10 @@ let granularity_name = function
   | Persistency_instruction -> "persistency_instruction"
   | Store_level -> "store_level"
 
-let strategy_name = function Snapshot -> "snapshot" | Reexecute -> "reexecute"
+let strategy_name = function
+  | Replay -> "replay"
+  | Snapshot -> "snapshot"
+  | Reexecute -> "reexecute"
 
 (** Machine encoding of a configuration, embedded in bench results and
     telemetry exports so a recorded run is reproducible from its output

@@ -135,6 +135,26 @@ let analyze ?(config = Config.default) (target : Target.t) =
   let report = Report.create ~target:target.Target.name in
   let ta = Trace_analysis.create config in
   let ta_feed event _stack = Trace_analysis.feed ta event in
+  (* The shared replay recording: under [Config.Replay] — and for every
+     offline phase regardless of strategy — the target is recorded once and
+     each consumer reads the recording instead of re-executing. Created
+     lazily inside the first phase that needs it (so its cost lands in that
+     phase's metrics) and counted as one instrumented execution. *)
+  let recording_ref = ref None in
+  let rec_executions = ref 0 in
+  let recording () =
+    match !recording_ref with
+    | Some r -> r
+    | None ->
+        let r =
+          Pmtrace.Replay.record ~loads:false ~eadr:config.Config.eadr
+            ~pool_size:target.Target.pool_size (fun ~device ~framer ->
+              target.Target.run ~device ~framer)
+        in
+        incr rec_executions;
+        recording_ref := Some r;
+        r
+  in
   (* Phase 0 (optional): offline static analysis over recorded traces —
      dependency graphs, invariant mining, fix suggestions, and the
      invariant-guided priority over failure points. *)
@@ -183,24 +203,28 @@ let analyze ?(config = Config.default) (target : Target.t) =
     else begin
       Telemetry.Progress.phase "absint";
       let runs = max 1 config.Config.invariant_runs in
-      let (a, fresh), ai_phase_metrics =
+      let a, ai_phase_metrics =
         Metrics.measure (fun () ->
             Telemetry.Collector.span ~cat:"phase" "absint" @@ fun () ->
-            let recordings, fresh =
+            let recordings =
               match static_noload with
-              | Some rs -> (rs, 0)
+              | Some rs -> rs
               | None ->
-                  ( List.init runs (fun _ ->
-                        record_trace ~loads:false ~eadr:config.Config.eadr target),
-                    runs )
+                  (* A deterministic target records identically every run, so
+                     duplicating the shared recording's events reproduces what
+                     [runs] fresh recordings would feed the CFG merge (which is
+                     idempotent under duplication — a qcheck law) without a
+                     single extra execution. *)
+                  let evs = Pmtrace.Replay.events (recording ()) in
+                  List.init runs (fun _ -> evs)
             in
-            (Analysis.Absint.analyze ~eadr:config.Config.eadr recordings, fresh))
+            Analysis.Absint.analyze ~eadr:config.Config.eadr recordings)
       in
       Telemetry.Collector.count "absint.nodes"
         (Analysis.Cfg.node_count a.Analysis.Absint.cfg);
       Telemetry.Collector.count "absint.findings" (List.length a.Analysis.Absint.findings);
       Telemetry.Collector.count "absint.proven_sites" (Analysis.Absint.proven_count a);
-      (Some a, fresh, ai_phase_metrics)
+      (Some a, 0, ai_phase_metrics)
     end
   in
   (* Phase 0b': conservative failure-point pruning. The abstract fixpoint
@@ -211,18 +235,14 @@ let analyze ?(config = Config.default) (target : Target.t) =
      is known to be [Consistent] — contributing no finding — so the pruned
      report signature equals the unpruned one by construction; everything
      unproven or unconfirmed falls back to live injection. *)
-  let prune_plan, prune_executions, prune_metrics =
+  let prune_plan_pre, prune_nominations, prune_metrics =
     match absint_analysis with
-    | Some a when config.Config.prune && config.Config.strategy = Config.Reexecute ->
+    | Some a when config.Config.prune && config.Config.strategy <> Config.Snapshot ->
         Telemetry.Progress.phase "prune";
-        let plan, prune_metrics =
+        let outcome, prune_metrics =
           Metrics.measure (fun () ->
               Telemetry.Collector.span ~cat:"phase" "prune" @@ fun () ->
-              let run ~device ~framer = target.Target.run ~device ~framer in
-              let recording =
-                Pmtrace.Replay.record ~loads:false ~eadr:config.Config.eadr
-                  ~pool_size:target.Target.pool_size run
-              in
+              let recording = recording () in
               let points =
                 Fault_injection.offline_points config (Pmtrace.Replay.events recording)
               in
@@ -231,58 +251,51 @@ let analyze ?(config = Config.default) (target : Target.t) =
                   ~proven_safe:(Analysis.Absint.proven_safe_at a)
                   points
               in
-              (* Materialize every nominee's crash image in a single replay
-                 pass: live injection crashes at the point's first dynamic
-                 occurrence, i.e. just before the event at its persistency
-                 index applies. *)
-              let wanted = Hashtbl.create 32 in
-              List.iter
-                (fun (n : Analysis.Prune.nomination) ->
-                  if n.Analysis.Prune.n_proven then
-                    Hashtbl.replace wanted n.Analysis.Prune.n_pseq n.Analysis.Prune.n_ordinal)
-                nominations;
-              let images = Hashtbl.create 32 in
-              (try
-                 ignore
-                   (Pmtrace.Replay.replay
-                      ~on_event:(fun device ~pseq _ ->
-                        match Hashtbl.find_opt wanted pseq with
-                        | Some ordinal ->
-                            Hashtbl.replace images ordinal
-                              (Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix);
-                            Hashtbl.remove wanted pseq;
-                            if Hashtbl.length wanted = 0 then raise Pmtrace.Replay.Stop
-                        | None -> ())
-                      recording)
-               with Pmtrace.Replay.Stop -> ());
-              let confirmed ordinal =
-                match Hashtbl.find_opt images ordinal with
-                | None -> false
-                | Some image -> (
-                    match
-                      Oracle.classify target.Target.recover
-                        (Pmem.Device.of_image ~eadr:config.Config.eadr image)
-                    with
-                    | Oracle.Consistent -> true
-                    | Oracle.Unrecoverable _ | Oracle.Crashed _ -> false)
-              in
-              Analysis.Prune.decide ~confirmed nominations)
+              match config.Config.strategy with
+              | Config.Replay ->
+                  (* confirmation folds into the replay injection pass, where
+                     every point's oracle outcome is computed anyway *)
+                  `Deferred nominations
+              | Config.Reexecute | Config.Snapshot ->
+                  (* Batched confirmation: every nominee's crash image comes
+                     out of one prefix-incremental materialization pass over
+                     the shared recording, and the oracle streams over the
+                     images — no extra execution, no image retained. Live
+                     injection crashes at the point's first dynamic
+                     occurrence, i.e. just before the event at its
+                     persistency index applies, which is exactly where the
+                     materializer captures. *)
+                  let wanted =
+                    List.filter_map
+                      (fun (n : Analysis.Prune.nomination) ->
+                        if n.Analysis.Prune.n_proven then
+                          Some (n.Analysis.Prune.n_ordinal, n.Analysis.Prune.n_pseq)
+                        else None)
+                      nominations
+                  in
+                  let confirmed = Hashtbl.create (max 16 (List.length wanted)) in
+                  ignore
+                    (Pmtrace.Replay.materialize recording ~points:wanted
+                       ~f:(fun ~key image ->
+                         match
+                           Oracle.classify target.Target.recover
+                             (Pmem.Device.adopt ~eadr:config.Config.eadr image)
+                         with
+                         | Oracle.Consistent -> Hashtbl.replace confirmed key ()
+                         | Oracle.Unrecoverable _ | Oracle.Crashed _ -> ()));
+                  `Plan (Analysis.Prune.decide ~confirmed:(Hashtbl.mem confirmed) nominations))
         in
-        Telemetry.Collector.count "absint.proven_safe" plan.Analysis.Prune.proven;
-        Telemetry.Collector.count "absint.skipped" (List.length plan.Analysis.Prune.skip);
-        Telemetry.Collector.count "absint.confirm_rejected" plan.Analysis.Prune.rejected;
-        (Some plan, 1, prune_metrics)
-    | Some _ | None -> (None, 0, Metrics.zero)
-  in
-  let absint_result =
-    Option.map (fun a -> { analysis = a; prune = prune_plan }) absint_analysis
+        (match outcome with
+        | `Plan plan -> (Some plan, None, prune_metrics)
+        | `Deferred nominations -> (None, Some nominations, prune_metrics))
+    | Some _ | None -> (None, None, Metrics.zero)
   in
   let ai_metrics = Metrics.add ai_phase_metrics prune_metrics in
-  (* Phase 0c (optional): anti-pattern lint over a replay recording, plus
+  (* Phase 0c (optional): anti-pattern lint over the shared recording, plus
      replay-backed verification of every fix suggestion (static and lint).
-     Costs one replay recording for lint, a second (load-traced) one for
-     verification — then only trace interpretations, never target
-     re-executions. *)
+     Lint reuses the shared recording; verification costs one extra
+     (load-traced) recording — then only trace interpretations, never
+     target re-executions. *)
   let lint_result, fix_verdicts, lv_metrics, lv_executions =
     if not (config.Config.lint || config.Config.verify_fixes) then
       (None, None, Metrics.zero, 0)
@@ -292,17 +305,14 @@ let analyze ?(config = Config.default) (target : Target.t) =
         Metrics.measure (fun () ->
             Telemetry.Collector.span ~cat:"phase" "lint" @@ fun () ->
             let run ~device ~framer = target.Target.run ~device ~framer in
-            let noload =
-              Pmtrace.Replay.record ~loads:false ~eadr:config.Config.eadr
-                ~pool_size:target.Target.pool_size run
-            in
+            let noload = recording () in
             let lint_r =
               Analysis.Lint.analyze ~eadr:config.Config.eadr (Pmtrace.Replay.events noload)
             in
             Telemetry.Collector.count "lint.findings"
               (List.length lint_r.Analysis.Lint.findings);
             Telemetry.Collector.count "lint.events_saved" lint_r.Analysis.Lint.events_saved;
-            if not config.Config.verify_fixes then (lint_r, None, 1)
+            if not config.Config.verify_fixes then (lint_r, None, 0)
             else begin
               let loaded =
                 Pmtrace.Replay.record ~loads:true ~eadr:config.Config.eadr
@@ -348,14 +358,14 @@ let analyze ?(config = Config.default) (target : Target.t) =
                 verify_candidates config target ~invariants ~noload ~loaded
                   (static_candidates @ lint_candidates)
               in
-              (lint_r, Some v, 2)
+              (lint_r, Some v, 1)
             end)
       in
       (Some lint_r, verdicts, lv_metrics, executions)
     end
   in
   (* Phase 1+2: instrumented execution(s), failure-point tree, injection. *)
-  let (fi_result, pm_stats), fi_phase =
+  let ((fi_result, pm_stats), replay_confirmed), fi_phase =
     Metrics.measure (fun () ->
         match config.Config.strategy with
         | Config.Snapshot ->
@@ -363,8 +373,9 @@ let analyze ?(config = Config.default) (target : Target.t) =
                trace; its device counters are the real store/flush/fence
                totals of the instrumented run *)
             Telemetry.Progress.phase "inject";
-            Telemetry.Collector.span ~cat:"phase" "fault_injection" (fun () ->
-                Fault_injection.inject_snapshot ~extra_listener:ta_feed config target)
+            ( Telemetry.Collector.span ~cat:"phase" "fault_injection" (fun () ->
+                  Fault_injection.inject_snapshot ~extra_listener:ta_feed config target),
+              [] )
         | Config.Reexecute ->
             Telemetry.Progress.phase "build-tree";
             let tree, stats =
@@ -374,11 +385,58 @@ let analyze ?(config = Config.default) (target : Target.t) =
             Telemetry.Progress.set_total (Fp_tree.size tree);
             Telemetry.Progress.phase "inject";
             let skip =
-              Option.map (fun p -> p.Analysis.Prune.skip) prune_plan
+              Option.map (fun p -> p.Analysis.Prune.skip) prune_plan_pre
             in
-            ( Telemetry.Collector.span ~cat:"phase" "injection" (fun () ->
-                  Fault_injection.inject_reexecute ?priority ?skip config target tree),
-              stats ))
+            ( ( Telemetry.Collector.span ~cat:"phase" "injection" (fun () ->
+                    Fault_injection.inject_reexecute ?priority ?skip config target tree),
+                stats ),
+              [] )
+        | Config.Replay ->
+            (* Replay-first: the shared recording stands in for every live
+               execution — the trace analysis reads the recorded events (the
+               same stream the live strategies feed it), the failure-point
+               tree is rebuilt offline, and crash images stream out of one
+               batched materialization pass per worker. *)
+            let r = recording () in
+            List.iter (fun e -> Trace_analysis.feed ta e) (Pmtrace.Replay.events r);
+            Telemetry.Progress.phase "inject";
+            let nominees =
+              match prune_nominations with
+              | None -> []
+              | Some ns ->
+                  List.filter_map
+                    (fun (n : Analysis.Prune.nomination) ->
+                      if n.Analysis.Prune.n_proven then Some n.Analysis.Prune.n_ordinal
+                      else None)
+                    ns
+            in
+            let fi, confirmed =
+              Telemetry.Collector.span ~cat:"phase" "injection" (fun () ->
+                  Fault_injection.inject_replay ~nominees config target ~recording:r)
+            in
+            ((fi, Pmtrace.Replay.stats r), confirmed))
+  in
+  (* Under [Replay] the prune plan is decided by the injection pass itself:
+     a proven nominee is confirmed iff its streamed oracle outcome was
+     consistent (and its record was elided there). *)
+  let prune_plan =
+    match (prune_plan_pre, prune_nominations) with
+    | (Some _ as p), _ -> p
+    | None, Some nominations ->
+        Some
+          (Analysis.Prune.decide
+             ~confirmed:(fun ordinal -> List.mem ordinal replay_confirmed)
+             nominations)
+    | None, None -> None
+  in
+  (match prune_plan with
+  | Some plan ->
+      Telemetry.Collector.count "absint.proven_safe" plan.Analysis.Prune.proven;
+      Telemetry.Collector.count "absint.skipped" (List.length plan.Analysis.Prune.skip);
+      Telemetry.Collector.count "absint.confirm_rejected" plan.Analysis.Prune.rejected
+  | None -> ());
+  let absint_result =
+    Option.map (fun a -> { analysis = a; prune = prune_plan }) absint_analysis
   in
   (* GC counters are domain-local: fold what the injection workers
      allocated into the phase total measured on this domain. *)
@@ -392,13 +450,29 @@ let analyze ?(config = Config.default) (target : Target.t) =
         Telemetry.Collector.span ~cat:"phase" "trace_analysis" (fun () ->
             Trace_analysis.finish ta))
   in
-  (* Attach stacks to trace findings (one extra minimal execution). *)
+  (* Attach stacks to trace findings. Under [Replay] the recording already
+     carries a stack on every event, so the resolution table is read off it
+     for free; the live strategies pay one extra minimal execution. *)
   let resolved =
     if config.Config.resolve_stacks then begin
       Telemetry.Progress.phase "resolve-stacks";
       Telemetry.Collector.span ~cat:"phase" "resolve_stacks" (fun () ->
-          resolve_stacks target
-            ~wanted:(List.map (fun r -> r.Trace_analysis.seq) raw_findings))
+          let wanted = List.map (fun r -> r.Trace_analysis.seq) raw_findings in
+          match (config.Config.strategy, !recording_ref) with
+          | Config.Replay, Some r ->
+              let want = Hashtbl.create (List.length wanted) in
+              List.iter (fun s -> Hashtbl.replace want s ()) wanted;
+              let resolved = Hashtbl.create (List.length wanted) in
+              if Hashtbl.length want > 0 then
+                List.iter
+                  (fun (e : Pmtrace.Event.t) ->
+                    if Hashtbl.mem want e.Pmtrace.Event.seq then
+                      match e.Pmtrace.Event.stack with
+                      | Some c -> Hashtbl.replace resolved e.Pmtrace.Event.seq c
+                      | None -> ())
+                  (Pmtrace.Replay.events r);
+              resolved
+          | _ -> resolve_stacks target ~wanted)
     end
     else Hashtbl.create 0
   in
@@ -513,8 +587,9 @@ let analyze ?(config = Config.default) (target : Target.t) =
       injections = List.length fi_result.Fault_injection.records;
       executions =
         fi_result.Fault_injection.executions
-        + (if config.Config.resolve_stacks then 1 else 0)
-        + static_executions + lv_executions + ai_executions + prune_executions;
+        + (if config.Config.resolve_stacks && config.Config.strategy <> Config.Replay then 1
+           else 0)
+        + static_executions + lv_executions + ai_executions + !rec_executions;
       trace_events = Trace_analysis.event_count ta;
       pm_stats;
       metrics =

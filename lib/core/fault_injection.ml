@@ -360,6 +360,121 @@ let inject_reexecute ?priority ?(skip = []) config (target : Target.t) tree =
   end
   else inject_parallel ?priority ~skip config target tree ~jobs
 
+(** Replay-first injection ([Config.Replay], the default): rebuild the
+    failure-point tree offline from the shared recording, materialize every
+    point's crash image in one batched prefix-incremental replay pass per
+    worker ({!Pmtrace.Replay.materialize}), and stream the recovery oracle
+    over the images — no image is ever retained and the target is never
+    re-executed on the replayed path. [nominees] lists the ordinals the
+    abstract fixpoint proved safe ({!Analysis.Prune}): a nominee whose
+    oracle outcome is [Consistent] is {e confirmed} — its record, known to
+    contribute no finding, is elided. This is the prune confirmation under
+    this strategy: every point's oracle outcome is computed anyway, so
+    pruning costs nothing extra. Points the replay pass cannot reach
+    (nondeterminism with respect to the recording) fall back to one live
+    targeted re-execution each. Returns the injection result plus the
+    confirmed ordinals (sorted). *)
+let inject_replay ?(nominees = []) config (target : Target.t) ~recording =
+  let points = offline_points config (Pmtrace.Replay.events recording) in
+  (* Re-inserting the captures in discovery order reproduces the ordinals
+     [offline_points] reported — the same ordinals a live [build_tree]
+     assigns on this deterministic workload. *)
+  let tree = Fp_tree.create () in
+  let pts =
+    List.map
+      (fun (ordinal, pseq, capture) ->
+        match Fp_tree.insert tree capture with
+        | `Added p ->
+            assert (p.Fp_tree.ordinal = ordinal);
+            (ordinal, pseq, p)
+        | `Existing _ -> assert false)
+      points
+  in
+  (* [adopt], not [of_image]: the materialized image is a copy-on-write
+     view of the shared prefix (and the fallback image a fresh snapshot we
+     own), so recovery can run on it directly — no pool copy per point. *)
+  let oracle_at ordinal image =
+    Telemetry.Collector.span ~cat:"inject" ~hist:"oracle_ns" "oracle"
+      ~args:[ ("ordinal", Telemetry.Json.Int ordinal) ]
+      (fun () ->
+        Oracle.classify target.Target.recover
+          (Pmem.Device.adopt ~eadr:config.Config.eadr image))
+  in
+  let by_ordinal = Hashtbl.create (max 16 (List.length pts)) in
+  List.iter (fun (o, _, p) -> Hashtbl.replace by_ordinal o p) pts;
+  (* One materialization pass over a share of the points: crash images
+     stream straight into the oracle, so at most one image is live at a
+     time. The recording is immutable and safely shared across domains. *)
+  let materialize_share mine =
+    let out = ref [] in
+    let unreached =
+      Pmtrace.Replay.materialize recording
+        ~points:(List.map (fun (o, pseq, _) -> (o, pseq)) mine)
+        ~f:(fun ~key image ->
+          let oracle = oracle_at key image in
+          Telemetry.Progress.tick ~bug:(Oracle.is_bug oracle) ();
+          out := { point = Hashtbl.find by_ordinal key; oracle } :: !out)
+    in
+    (List.rev !out, unreached)
+  in
+  let jobs = max 1 (min config.Config.jobs (max 1 (List.length pts))) in
+  let replayed, unreached, worker_metrics =
+    if jobs = 1 then
+      let records, unreached = materialize_share pts in
+      (records, unreached, [])
+    else begin
+      let worker w () =
+        Metrics.measure (fun () ->
+            materialize_share (List.filter (fun (o, _, _) -> o mod jobs = w) pts))
+      in
+      let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
+      let results = List.map Domain.join domains in
+      ( List.concat_map (fun ((recs, _), _) -> recs) results,
+        List.concat_map (fun ((_, unr), _) -> unr) results,
+        List.map snd results )
+    end
+  in
+  (* Visit state is committed on the spawning domain after the join. *)
+  List.iter (fun r -> r.point.Fp_tree.visited <- true) replayed;
+  (* Fallback: a point the recording never reached is injected live, one
+     targeted re-execution each (expected never to fire on deterministic
+     targets — the counter makes any divergence visible). *)
+  let fallback_records = ref [] and fallback_execs = ref 0 in
+  List.iter
+    (fun ordinal ->
+      Telemetry.Collector.count "fp.replay_fallback" 1;
+      incr fallback_execs;
+      match reexecute_at config target tree ~ordinal with
+      | None -> Telemetry.Collector.count "fp.unreached" 1
+      | Some (point, image) ->
+          let oracle = oracle_at point.Fp_tree.ordinal image in
+          Telemetry.Progress.tick ~bug:(Oracle.is_bug oracle) ();
+          fallback_records := { point; oracle } :: !fallback_records)
+    (List.sort compare unreached);
+  let all = replayed @ List.rev !fallback_records in
+  let confirmed =
+    List.filter_map
+      (fun r ->
+        match r.oracle with
+        | Oracle.Consistent when List.mem r.point.Fp_tree.ordinal nominees ->
+            Some r.point.Fp_tree.ordinal
+        | _ -> None)
+      all
+    |> List.sort compare
+  in
+  let records =
+    sort_records
+      (List.filter (fun r -> not (List.mem r.point.Fp_tree.ordinal confirmed)) all)
+  in
+  ( {
+      tree;
+      records;
+      executions = !fallback_execs;
+      injection_order = ordinals_of records;
+      worker_metrics;
+    },
+    confirmed )
+
 (** Simulator-only optimisation ([Config.Snapshot]): a single execution in
     which each new failure point immediately snapshots its crash image and
     runs recovery on a copy. Detects exactly the same bugs. Also returns

@@ -82,6 +82,33 @@ val inject_reexecute :
     ({!Analysis.Prune}) as visited before the loop starts, sequentially and
     on every worker's private tree alike, so they are never injected. *)
 
+val inject_replay :
+  ?nominees:int list ->
+  Config.t ->
+  Target.t ->
+  recording:Pmtrace.Replay.t ->
+  result * int list
+(** Replay-first injection ([Config.Replay], the default): rebuild the
+    failure-point tree offline from the shared recording (same ordinals a
+    live {!build_tree} assigns on the deterministic workload), materialize
+    every point's crash image in one batched prefix-incremental replay pass
+    per worker ({!Pmtrace.Replay.materialize}), and stream the recovery
+    oracle over the images — constant image memory, and the target is never
+    re-executed on the replayed path. With [Config.jobs > 1] the points are
+    partitioned round-robin by ordinal over that many domains, each running
+    its own materialization pass over the shared immutable recording, and
+    the records merged back in ordinal order.
+
+    [nominees] lists the ordinals the abstract fixpoint proved safe
+    ({!Analysis.Prune}); a nominee whose oracle outcome is [Consistent] is
+    {e confirmed} and its record — known to contribute no finding — is
+    elided, which is the prune confirmation under this strategy (free:
+    every point's outcome is computed anyway). Points the replay pass
+    cannot reach (nondeterminism with respect to the recording,
+    recovery-side faults) fall back to one live targeted re-execution each,
+    counted in [result.executions] and the ["fp.replay_fallback"] telemetry
+    counter. Returns the result plus the confirmed ordinals, sorted. *)
+
 val inject_snapshot :
   ?extra_listener:(Pmtrace.Event.t -> Pmtrace.Callstack.t -> unit) ->
   Config.t ->

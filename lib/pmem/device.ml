@@ -26,9 +26,9 @@ type t = {
   stats : Stats.t;
 }
 
-let create ?(eadr = false) ~size () =
+let adopt ?(eadr = false) image =
   {
-    image = Image.create ~size;
+    image;
     eadr;
     lines = Hashtbl.create 1024;
     pending = Hashtbl.create 64;
@@ -42,10 +42,8 @@ let create ?(eadr = false) ~size () =
     stats = Stats.create ();
   }
 
-let of_image ?(eadr = false) img =
-  let t = create ~eadr ~size:(Image.size img) () in
-  Image.write t.image ~addr:0 (Image.unsafe_bytes img |> Bytes.copy);
-  t
+let create ?(eadr = false) ~size () = adopt ~eadr (Image.create ~size)
+let of_image ?(eadr = false) img = adopt ~eadr (Image.snapshot img)
 
 let size t = Image.size t.image
 let eadr t = t.eadr

@@ -41,6 +41,13 @@ val of_image : ?eadr:bool -> Image.t -> t
     and whose cache is empty — the state of the machine right after a
     restart. *)
 
+val adopt : ?eadr:bool -> Image.t -> t
+(** [adopt img] is {!of_image} without the snapshot: the device takes [img]
+    as its persistent image directly and mutates it in place. The batched
+    oracle runs recovery on an adopted {!Image.cow} view, so each failure
+    point pays for the pages recovery touches instead of a pool copy. The
+    caller must not reuse [img] afterwards. *)
+
 val size : t -> int
 
 val eadr : t -> bool

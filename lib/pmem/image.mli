@@ -15,6 +15,14 @@ val size : t -> int
 val snapshot : t -> t
 (** [snapshot t] is an independent deep copy of [t]. *)
 
+val cow : t -> t
+(** [cow t] is a copy-on-write view of [t]'s current contents: reads fall
+    through to [t], writes materialize private 4 KiB pages, and [t] itself
+    is never mutated through the view. Creating the view copies nothing —
+    the caller must not mutate [t] while the view is live (the batched
+    materializer guarantees this by finishing each oracle run before
+    rolling the shared prefix image forward). *)
+
 val read : t -> addr:int -> size:int -> bytes
 (** [read t ~addr ~size] copies [size] bytes starting at [addr]. *)
 
@@ -35,4 +43,6 @@ val equal : t -> t -> bool
 
 val unsafe_bytes : t -> bytes
 (** The underlying buffer, for bulk operations. Mutating it bypasses the
-    persistence model; reserved for the device implementation. *)
+    persistence model; reserved for the device implementation. On a {!cow}
+    view this flattens the overlay into a private flat buffer first (one
+    full copy), after which the view no longer reads through. *)

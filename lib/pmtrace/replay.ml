@@ -16,6 +16,12 @@
       events emitted before it, letting the recorder weave poison back
       between the right events.
 
+    Storage is compact: the events stay in the tracer's packed {!Arena}
+    (the recording takes ownership of it, zero-copy) and payloads live in
+    an {!Arena.Slab} — one growing byte buffer — instead of one heap
+    [bytes] per store. A recording is immutable once built, so concurrent
+    replays from several domains may share it.
+
     One known approximation: a poison overlapping a store that is still
     pending payload resolution snoops the poisoned bytes. For cached
     stores the replayed poison re-applies the same bytes immediately
@@ -24,45 +30,71 @@
     the allocator (which only poisons freshly carved, not-yet-stored-to
     chunks) never produces. *)
 
-type item = Ev of Event.t | Poison of { addr : int; size : int }
-
 type t = {
-  items : item list;  (** execution order; poison woven between events *)
-  payloads : (int, bytes) Hashtbl.t;  (** store event seq -> bytes written *)
+  trace : Arena.t;  (** recorded events, packed, execution order *)
+  poison : (int * int * int) list;
+      (** (events emitted before the poison, addr, size), oldest first *)
+  payloads : Arena.Slab.slab;  (** store event seq -> bytes written *)
   pool_size : int;
   eadr : bool;
   loads : bool;  (** the recording traced PM loads *)
   stats : Pmem.Stats.t;  (** device counters at the end of the recorded run *)
 }
 
-let events t =
-  List.filter_map (function Ev e -> Some e | Poison _ -> None) t.items
+type item = Ev of Event.t | Poison of { addr : int; size : int }
 
-(* Weave poison entries (op_count = events emitted before the poison,
-   oldest first) back between the recorded events. *)
-let weave evs poisons =
-  let rec go evs poisons =
-    match (evs, poisons) with
-    | evs, [] -> List.map (fun e -> Ev e) evs
-    | [], ps -> List.map (fun (_, addr, size) -> Poison { addr; size }) ps
-    | e :: es, (c, addr, size) :: ps ->
-        if c < e.Event.seq then Poison { addr; size } :: go evs ps
-        else Ev e :: go es poisons
+let events t = Arena.to_list t.trace
+let stats t = t.stats
+let pool_size t = t.pool_size
+
+(* Stream the recording in execution order with the poison entries woven
+   back between events: a poison logged after [c] events precedes the
+   event with seq [c + 1]. *)
+let iter_items t f =
+  let poisons = ref t.poison in
+  let rec before seq =
+    match !poisons with
+    | (c, addr, size) :: rest when c < seq ->
+        poisons := rest;
+        f (Poison { addr; size });
+        before seq
+    | _ -> ()
   in
-  go evs poisons
+  Arena.iter t.trace (fun e ->
+      before e.Event.seq;
+      f (Ev e));
+  List.iter (fun (_, addr, size) -> f (Poison { addr; size })) !poisons
+
+let items t =
+  let out = ref [] in
+  iter_items t (fun it -> out := it :: !out);
+  List.rev !out
+
+let of_events ?(loads = false) ?(eadr = false) ~pool_size evs =
+  let trace = Arena.create ~capacity:(List.length evs) () in
+  List.iter (Arena.add trace) evs;
+  {
+    trace;
+    poison = [];
+    payloads = Arena.Slab.create ~capacity:64 ();
+    pool_size;
+    eadr;
+    loads;
+    stats = Pmem.Stats.create ();
+  }
 
 let record ?(loads = false) ?(eadr = false) ~pool_size run =
   Telemetry.Collector.span ~cat:"replay" "record" @@ fun () ->
   let device = Pmem.Device.create ~eadr ~size:pool_size () in
   Pmem.Device.trace_loads device loads;
   let tracer = Tracer.create ~collect:true ~with_stacks:true device in
-  let payloads = Hashtbl.create 1024 in
+  let payloads = Arena.Slab.create () in
   let unresolved = ref None in
   let resolve () =
     match !unresolved with
     | None -> ()
     | Some (seq, addr, size) ->
-        Hashtbl.replace payloads seq (Pmem.Device.peek device ~addr ~size);
+        Arena.Slab.set payloads ~key:seq (Pmem.Device.peek device ~addr ~size);
         unresolved := None
   in
   Tracer.add_listener tracer (fun e _stack ->
@@ -76,7 +108,8 @@ let record ?(loads = false) ?(eadr = false) ~pool_size run =
   resolve ();
   Tracer.detach tracer;
   {
-    items = weave (Trace.to_list (Tracer.trace tracer)) (Pmem.Device.poison_log device);
+    trace = Trace.arena (Tracer.trace tracer);
+    poison = Pmem.Device.poison_log device;
     payloads;
     pool_size;
     eadr;
@@ -94,7 +127,7 @@ let apply t device (e : Event.t) =
   match e.Event.op with
   | Pmem.Op.Store { addr; size; nt } ->
       let b =
-        match Hashtbl.find_opt t.payloads e.Event.seq with
+        match Arena.Slab.find t.payloads e.Event.seq with
         | Some b -> b
         | None -> Bytes.make size '\000' (* no payload recorded: zero fill *)
       in
@@ -111,20 +144,19 @@ let apply t device (e : Event.t) =
       | Pmem.Op.Rmw -> Pmem.Device.rmw_fence device)
   | Pmem.Op.Load { addr; size } -> ignore (Pmem.Device.load device ~addr ~size)
 
-(* The single interpreter loop behind [replay] and [normalize]. [on_event]
-   fires {e before} the event is applied — the hook discipline of the live
-   device, so a crash image captured there is the state a fault at that
-   instruction leaves behind. [pseq] is the persistency index (1-based
-   count of non-load events, the coordinate system of the offline
-   analyses). *)
+(* The single interpreter loop behind [replay], [materialize] and
+   [normalize]. [on_event] fires {e before} the event is applied — the hook
+   discipline of the live device, so a crash image captured there is the
+   state a fault at that instruction leaves behind. [pseq] is the
+   persistency index (1-based count of non-load events, the coordinate
+   system of the offline analyses). *)
 let run ?hook ?on_event ?after_event t =
   let device = Pmem.Device.create ~eadr:t.eadr ~size:t.pool_size () in
   Pmem.Device.trace_loads device t.loads;
   (match hook with Some h -> Pmem.Device.set_hook device (Some h) | None -> ());
   let pseq = ref 0 in
   (try
-     List.iter
-       (fun item ->
+     iter_items t (fun item ->
          match item with
          | Poison { addr; size } -> Pmem.Device.poison device ~addr ~size
          | Ev e ->
@@ -132,13 +164,65 @@ let run ?hook ?on_event ?after_event t =
              (match on_event with Some f -> f device ~pseq:!pseq e | None -> ());
              apply t device e;
              (match after_event with Some f -> f e | None -> ()))
-       t.items
    with Stop -> ());
   device
 
 let replay ?on_event t =
   Telemetry.Collector.span ~cat:"replay" ~hist:"replay_ns" "replay" @@ fun () ->
   run ?on_event t
+
+(* Batched, prefix-incremental crash-image materializer: one forward pass
+   rolls a single prefix image through the recording, so the image prefix
+   two consecutive failure points share is applied once instead of being
+   rebuilt from scratch per point; each wanted image is handed to [f] the
+   moment its pseq is reached and never retained here.
+
+   The pass interprets stores only. Mumak's crash images are
+   [Program_prefix] — every store issued before the failure point
+   persists — so the image at any point is exactly the recorded store
+   payloads (and allocator poison) applied in order, and flushes, fences
+   and loads cannot move bytes the view doesn't already show. That
+   reduces per-event work to a payload blit, and per-point work to a
+   zero-copy {!Pmem.Image.cow} view of the rolling prefix: the oracle's
+   recovery run pays for the pages it touches instead of two full-pool
+   copies. Each view reads through the shared prefix, so it is valid only
+   until [f] returns. *)
+let materialize t ~points ~f =
+  Telemetry.Collector.span ~cat:"replay" ~hist:"replay_ns" "materialize" @@ fun () ->
+  let remaining = Hashtbl.create (max 16 (List.length points)) in
+  List.iter (fun (key, pseq) -> Hashtbl.replace remaining pseq key) points;
+  if Hashtbl.length remaining > 0 then begin
+    let prefix = Pmem.Image.create ~size:t.pool_size in
+    let pseq = ref 0 in
+    try
+      iter_items t (fun item ->
+          match item with
+          | Poison { addr; size } -> Pmem.Image.write prefix ~addr (Bytes.make size '\xdd')
+          | Ev e ->
+              (match e.Event.op with Pmem.Op.Load _ -> () | _ -> incr pseq);
+              (match Hashtbl.find_opt remaining !pseq with
+              | Some key ->
+                  Hashtbl.remove remaining !pseq;
+                  let image =
+                    Telemetry.Collector.span ~cat:"replay" ~hist:"crash_image_ns"
+                      ~args:[ ("key", Telemetry.Json.Int key) ]
+                      "crash_image" (fun () -> Pmem.Image.cow prefix)
+                  in
+                  f ~key image;
+                  if Hashtbl.length remaining = 0 then raise Stop
+              | None -> ());
+              (match e.Event.op with
+              | Pmem.Op.Store { addr; size; _ } ->
+                  let b =
+                    match Arena.Slab.find t.payloads e.Event.seq with
+                    | Some b -> b
+                    | None -> Bytes.make size '\000' (* no payload recorded: zero fill *)
+                  in
+                  Pmem.Image.write prefix ~addr b
+              | Pmem.Op.Flush _ | Pmem.Op.Fence _ | Pmem.Op.Load _ -> ()))
+    with Stop -> ()
+  end;
+  Hashtbl.fold (fun _pseq key acc -> key :: acc) remaining []
 
 (* Field-wise statistics comparison. [loads] only when the recording traced
    loads: an untraced recording still counts the program's loads (including
@@ -182,7 +266,7 @@ let edit_anchor = function
   | Delete_fence_at { pseq } -> pseq
 
 (* Synthesized events get placeholder negative seqs (renumbered away by
-   [renumber]) and no stack: the offline failure-point detector skips
+   the rewrite) and no stack: the offline failure-point detector skips
    stackless events, so an inserted instruction never mints new failure
    points — it only changes which states the surrounding ones can
    observe. *)
@@ -262,47 +346,48 @@ let rewrite_items items edits =
     edits;
   List.rev !out
 
-(* Reassign consecutive 1-based seqs after a rewrite, so the rewritten
-   trace satisfies the same invariant a recorded one does (seq = emission
-   index; for load-free traces, seq = persistency index). The offline
-   analyses index stacks by seq, so leaving original seqs in place would
-   mis-anchor every event past an insertion. Store payload keys are
-   remapped along (stores are never synthesized or deleted). *)
-let renumber items payloads =
-  let map = Hashtbl.create 64 in
+(* Reassign consecutive 1-based seqs after a rewrite, packing the edited
+   stream into a fresh arena/slab/poison log, so the rewritten trace
+   satisfies the same invariant a recorded one does (seq = emission index;
+   for load-free traces, seq = persistency index). The offline analyses
+   index stacks by seq, so leaving original seqs in place would mis-anchor
+   every event past an insertion. Store payload keys are remapped along
+   (stores are never synthesized or deleted), and poison op-counts are
+   recomputed from the item positions. *)
+let repack t edited =
+  let trace = Arena.create ~capacity:(Arena.length t.trace) () in
+  let payloads = Arena.Slab.create ~capacity:(Arena.Slab.bytes_used t.payloads) () in
+  let poison = ref [] in
   let n = ref 0 in
-  let items =
-    List.map
-      (function
-        | Poison _ as x -> x
-        | Ev e ->
-            incr n;
-            (match e.Event.op with
-            | Pmem.Op.Store _ -> Hashtbl.replace map e.Event.seq !n
-            | _ -> ());
-            Ev { e with Event.seq = !n })
-      items
-  in
-  let payloads' = Hashtbl.create (max 16 (Hashtbl.length payloads)) in
-  Hashtbl.iter
-    (fun old b ->
-      match Hashtbl.find_opt map old with
-      | Some fresh -> Hashtbl.replace payloads' fresh b
-      | None -> ())
-    payloads;
-  (items, payloads')
+  List.iter
+    (fun item ->
+      match item with
+      | Poison { addr; size } -> poison := (!n, addr, size) :: !poison
+      | Ev e ->
+          incr n;
+          (match e.Event.op with
+          | Pmem.Op.Store _ -> (
+              match Arena.Slab.find t.payloads e.Event.seq with
+              | Some b -> Arena.Slab.set payloads ~key:!n b
+              | None -> ())
+          | _ -> ());
+          Arena.add trace { e with Event.seq = !n })
+    edited;
+  { t with trace; payloads; poison = List.rev !poison }
 
 let rewrite t edits =
   (* [stats] is kept from the original recording: a rewritten trace has
      different true counters, recomputed by whoever replays it *)
-  let items, payloads = renumber (rewrite_items t.items edits) t.payloads in
-  { t with items; payloads }
+  repack t (rewrite_items (items t) edits)
 
 let rewrite_events evs edits =
-  let items, _ =
-    renumber (rewrite_items (List.map (fun e -> Ev e) evs) edits) (Hashtbl.create 1)
-  in
-  List.filter_map (function Ev e -> Some e | Poison _ -> None) items
+  let n = ref 0 in
+  rewrite_items (List.map (fun e -> Ev e) evs) edits
+  |> List.filter_map (function
+       | Poison _ -> None
+       | Ev e ->
+           incr n;
+           Some { e with Event.seq = !n })
 
 (* ------------------------------------------------------------------ *)
 (* Normalization                                                       *)
@@ -330,12 +415,4 @@ let normalize t =
   List.rev !out
 
 let normalize_events ?(loads = false) ?(eadr = false) ~pool_size evs =
-  normalize
-    {
-      items = List.map (fun e -> Ev e) evs;
-      payloads = Hashtbl.create 16;
-      pool_size;
-      eadr;
-      loads;
-      stats = Pmem.Stats.create ();
-    }
+  normalize (of_events ~loads ~eadr ~pool_size evs)

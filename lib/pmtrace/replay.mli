@@ -6,18 +6,14 @@
     allocator poison is invisible to instrumentation — so a {!t} couples the
     event stream with two recorder-captured side-channels: per-store
     payloads (snooped with {!Pmem.Device.peek} at the next hook, when the
-    store has just applied) and the poison log woven back between events. *)
+    store has just applied) and the poison log woven back between events.
 
-type item = Ev of Event.t | Poison of { addr : int; size : int }
+    Storage is compact ({!Arena}): the recording takes ownership of the
+    tracer's packed event arena and keeps payloads in a byte slab. A
+    recording is immutable once built, so several domains may replay or
+    materialize from the same recording concurrently. *)
 
-type t = {
-  items : item list;  (** execution order; poison woven between events *)
-  payloads : (int, bytes) Hashtbl.t;  (** store event seq -> bytes written *)
-  pool_size : int;
-  eadr : bool;
-  loads : bool;  (** the recording traced PM loads *)
-  stats : Pmem.Stats.t;  (** device counters at the end of the recorded run *)
-}
+type t
 
 val record :
   ?loads:bool ->
@@ -28,8 +24,19 @@ val record :
 (** One fully-instrumented execution of [run] (stacks on every event),
     capturing the trace plus the payload and poison side-channels. *)
 
+val of_events : ?loads:bool -> ?eadr:bool -> pool_size:int -> Event.t list -> t
+(** A recording built from bare events: no payloads (stores replay as zero
+    fill) and no poison. Enough for metadata normalization, rewriting and
+    failure-point enumeration; crash images of payload-carrying programs
+    need {!record}. *)
+
 val events : t -> Event.t list
 (** The recorded events in execution order, poison entries dropped. *)
+
+val stats : t -> Pmem.Stats.t
+(** Device counters at the end of the recorded run. *)
+
+val pool_size : t -> int
 
 exception Stop
 (** Raise from [on_event] to end a replay early (after a crash image has
@@ -42,6 +49,20 @@ val replay : ?on_event:(Pmem.Device.t -> pseq:int -> Event.t -> unit) -> t -> Pm
     image a fault at that instruction leaves behind. [pseq] is the
     persistency index (1-based count of non-load events), the coordinate
     system of the offline analyses. *)
+
+val materialize :
+  t -> points:(int * int) list -> f:(key:int -> Pmem.Image.t -> unit) -> int list
+(** [materialize t ~points ~f] — the batched, prefix-incremental crash-image
+    materializer. [points] is a [(key, pseq)] list (keys and pseqs unique,
+    any order); one forward replay pass rolls a single device through the
+    recording, so the prefix two consecutive failure points share is
+    applied once instead of rebuilt from scratch per point. Each wanted
+    image is passed to [f] the moment its pseq is reached — before the
+    event at that index applies, exactly where live injection crashes — and
+    is not retained here, so callers can stream oracle checks in constant
+    image memory. Stops as soon as the last wanted image is out. Returns
+    the keys of points never reached (empty for any in-range pseq set);
+    the engine re-executes those live. *)
 
 val stats_match : t -> Pmem.Stats.t -> bool
 (** Do the replayed device counters equal the recorded run's?  [loads] is
@@ -66,12 +87,13 @@ val edit_to_string : edit -> string
 
 val rewrite : t -> edit list -> t
 (** Apply every edit, then renumber seqs consecutively from 1 (remapping
-    payload keys along), so the rewritten trace satisfies the same
-    [seq = emission index] invariant a recorded one does. Synthesized
-    events carry no stack — the offline failure-point detector skips
-    stackless events, so an insertion never mints new failure points.
-    Raises if an edit's anchor does not name an event of the required kind.
-    The result's [stats] field still describes the original recording. *)
+    payload keys and poison positions along), so the rewritten trace
+    satisfies the same [seq = emission index] invariant a recorded one
+    does. Synthesized events carry no stack — the offline failure-point
+    detector skips stackless events, so an insertion never mints new
+    failure points. Raises if an edit's anchor does not name an event of
+    the required kind. The result's statistics still describe the original
+    recording. *)
 
 val rewrite_events : Event.t list -> edit list -> Event.t list
 (** {!rewrite} over a bare event list (e.g. a load-traced recording whose

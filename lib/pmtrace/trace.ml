@@ -1,32 +1,28 @@
 (** An in-memory trace of PM accesses, collected during one execution of the
-    workload and consumed in a single pass by the analyses. *)
+    workload and consumed in a single pass by the analyses. Storage is an
+    {!Arena}: packed integer records with interned call paths, decoded back
+    into {!Event.t} values on access. *)
 
-type t = { mutable events : Event.t list (* newest first *); mutable length : int }
+type t = Arena.t
 
-let create () = { events = []; length = 0 }
-
-let add t e =
-  t.events <- e :: t.events;
-  t.length <- t.length + 1
-
-let length t = t.length
-let clear t =
-  t.events <- [];
-  t.length <- 0
+let create () = Arena.create ()
+let add t e = Arena.add t e
+let length t = Arena.length t
+let clear t = Arena.clear t
 
 (** [iter t f] applies [f] to every event in execution order. *)
-let iter t f = List.iter f (List.rev t.events)
+let iter t f = Arena.iter t f
 
 (** [fold t init f] folds over events in execution order. *)
-let fold t init f = List.fold_left f init (List.rev t.events)
+let fold t init f = Arena.fold t init f
 
-let to_list t = List.rev t.events
+let to_list t = Arena.to_list t
+let arena t = t
 
 (** Approximate resident size of the trace in words, for the Table 2
-    resource accounting. *)
-let approx_size_words t =
-  (* one list cell (3 words) + one record (4 words) + op payload (~6 words) *)
-  t.length * 13
+    resource accounting: the packed arena storage plus interned paths
+    (formerly ~13 boxed words per event). *)
+let approx_size_words t = Arena.words t
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: the analogue of the trace file the original Mumak    *)
@@ -125,7 +121,13 @@ let event_of_line line =
 
 (** [serialize t] renders the trace, one event per line, in execution
     order. Stacks (when collected) round-trip. *)
-let serialize t = String.concat "\n" (List.rev_map event_to_line t.events)
+let serialize t =
+  let buf = Buffer.create (64 * (1 + length t)) in
+  let first = ref true in
+  iter t (fun e ->
+      if !first then first := false else Buffer.add_char buf '\n';
+      Buffer.add_string buf (event_to_line e));
+  Buffer.contents buf
 
 (** [deserialize s] rebuilds a trace serialized by {!serialize}. *)
 let deserialize s =

@@ -1,5 +1,7 @@
 (** An in-memory trace of PM accesses, collected during one execution of the
-    workload and consumed in a single pass by the analyses. *)
+    workload and consumed in a single pass by the analyses. Storage is an
+    {!Arena}: packed integer records with interned call paths, decoded back
+    into {!Event.t} values on access. *)
 
 type t
 
@@ -20,6 +22,9 @@ val fold : t -> 'a -> ('a -> Event.t -> 'a) -> 'a
 val to_list : t -> Event.t list
 (** Events in execution order. *)
 
+val arena : t -> Arena.t
+(** The packed backing store (a zero-copy view, shared with the trace). *)
+
 val approx_size_words : t -> int
 (** Approximate resident size of the trace in words, for the Table 2
     resource accounting. *)
@@ -33,3 +38,10 @@ val serialize : t -> string
 val deserialize : string -> t
 (** [deserialize s] rebuilds a trace serialized by {!serialize}. Raises
     [Failure] on malformed input. *)
+
+val event_to_line : Event.t -> string
+(** The per-event line codec behind {!serialize}/{!deserialize}, exposed so
+    the property tests can check the arena-backed round-trip against a
+    plain list-backed one. *)
+
+val event_of_line : string -> Event.t

@@ -1,6 +1,8 @@
 (** Glue between a {!Pmem.Device} and trace collection: the Pin-tool
     analogue. A tracer owns the call stack the application pushes frames
-    onto, assigns instruction counters, and appends events to a trace.
+    onto, assigns instruction counters, and appends events to a trace
+    (arena-backed — see {!Trace} and {!Arena} — so a retained recording
+    costs packed integer records, not one heap object per event).
 
     Extra listeners can be attached (the fault injector attaches one to
     watch for failure points without paying for trace storage). *)

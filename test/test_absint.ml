@@ -256,6 +256,26 @@ let test_prune_differential_clean () =
     (fun name -> prune_differential name (target_for name))
     [ "wort"; "btree"; "level_hash" ]
 
+let test_pruned_never_slower () =
+  (* the regression this PR fixes: per-nominee confirmation replays used to
+     make pruned runs slower than unpruned ones (btree: 14.0 s pruned vs
+     4.8 s unpruned in BENCH_absint). Confirmation is now one batched
+     materialization pass over the shared recording, so a pruned run does
+     strictly less injection work than an unpruned one. Wall clock is
+     noisy in CI, so allow 25% slack — the old regression was ~3x. *)
+  let make_target = target_for "btree" in
+  let wall config =
+    let r = Mumak.Engine.analyze ~config (make_target ()) in
+    r.Mumak.Engine.metrics.Mumak.Metrics.wall_seconds
+  in
+  ignore (wall (unpruned 1)) (* warmup: touch every code path once *);
+  let base = wall (unpruned 1) in
+  let fast = wall (pruned 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned (%.3fs) <= unpruned (%.3fs) x 1.25" fast base)
+    true
+    (fast <= (base *. 1.25) +. 0.05)
+
 let test_prune_skips_on_clean_targets () =
   (* the acceptance bar: a clean target must get a substantial fraction of
      its failure points proven safe and skipped *)
@@ -282,5 +302,7 @@ let () =
             test_prune_differential_clean;
           Alcotest.test_case "clean target skip fraction" `Slow
             test_prune_skips_on_clean_targets;
+          Alcotest.test_case "pruned never slower than unpruned" `Slow
+            test_pruned_never_slower;
         ] );
     ]

@@ -261,9 +261,20 @@ let test_resolve_stacks_findings () =
       Alcotest.(check bool) "findings survive without stacks" true (bare_ta <> []);
       Alcotest.(check bool) "resolve_stacks:false yields stack = None" true
         (List.for_all (fun f -> f.Mumak.Report.stack = None) bare_ta);
-      (* skipping the resolution execution must be visible in the count *)
+      (* under the replay-first default, stacks ride on the shared recording
+         and resolution is free: the execution count must not change *)
+      Alcotest.(check int) "resolution costs no execution under replay"
+        result.Mumak.Engine.executions bare.Mumak.Engine.executions;
+      (* under live re-execution, skipping the resolution execution must be
+         visible in the count *)
+      let faithful = Mumak.Engine.analyze ~config:Mumak.Config.faithful (make_target ()) in
+      let faithful_bare =
+        Mumak.Engine.analyze
+          ~config:{ Mumak.Config.faithful with Mumak.Config.resolve_stacks = false }
+          (make_target ())
+      in
       Alcotest.(check int) "one fewer execution without resolution"
-        (result.Mumak.Engine.executions - 1) bare.Mumak.Engine.executions)
+        (faithful.Mumak.Engine.executions - 1) faithful_bare.Mumak.Engine.executions)
 
 let () =
   Alcotest.run "parallel"

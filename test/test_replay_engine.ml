@@ -1,0 +1,400 @@
+(* The proof harness for the replay-first injection engine and the arena
+   trace storage behind it.
+
+   Layer 1 — the strategy differential: [Replay] (the default) promises to
+   detect exactly what the cost-faithful [Reexecute] loop and the
+   [Snapshot] optimisation detect, from a single recorded execution. For
+   every seeded bug in the application, pmalloc and Montage registries
+   (the full 33-bug matrix) and for the clean suite, [Replay jobs=1],
+   [Replay jobs=4], [Reexecute] and [Snapshot] must produce byte-identical
+   report signatures, identical failure-point and injection counts — and
+   the replay runs must cost exactly one target execution (any live
+   fallback would show up in the count).
+
+   Layer 2 — the prune interaction: with [--absint --prune], the pruned
+   replay engine at jobs=1 and jobs=4 must reproduce the unpruned replay
+   signature, the re-execution signature, and skip exactly the confirmed
+   nominations.
+
+   Layer 3 — qcheck properties for the arena representation: pack/unpack
+   round-trip, interning stability (decoded equal paths are physically
+   shared), serialization of arena-backed traces equal to the list-backed
+   round-trip, rewrite on arena-backed recordings agreeing with the
+   list-based rewriter, and the store-only prefix materializer producing
+   byte-identical images to a full device replay. *)
+
+let app name =
+  match Pmapps.Registry.find name with
+  | Some m -> m
+  | None -> Alcotest.failf "unknown app %s" name
+
+let version_for name =
+  if String.equal name "hashmap_atomic" then Pmalloc.Version.V1_6
+  else Pmalloc.Version.V1_12
+
+let wl ?(ops = 60) ?(key_range = 25) ?(seed = 42L) () =
+  Workload.standard ~ops ~key_range ~seed
+
+(* One target per seeded-bug component (the pmalloc library bugs need large
+   grouped transactions to fire), mirroring test_parallel/test_absint. *)
+let target_for component () =
+  match component with
+  | "pmalloc" ->
+      Targets.of_app (app "btree") ~tx_mode:(Targets.Grouped 64)
+        ~workload:(wl ~ops:120 ()) ()
+  | "montage" -> Targets.of_montage ~variant:`Buffered ~workload:(wl ()) ()
+  | name ->
+      Targets.of_app (app name) ~version:(version_for name) ~workload:(wl ()) ()
+
+let all_seeded_bugs () =
+  Pmapps.Registry.all_bugs @ Pmalloc.Bugs.all @ Montage.Mt_alloc.bugs
+
+(* --- layer 1: the strategy differential --- *)
+
+let strategies =
+  [
+    ("replay j=1", Mumak.Config.Replay, 1);
+    ("replay j=4", Mumak.Config.Replay, 4);
+    ("reexecute", Mumak.Config.Reexecute, 1);
+    ("snapshot", Mumak.Config.Snapshot, 1);
+  ]
+
+let differential ~bugs name make_target =
+  Bugreg.with_enabled bugs (fun () ->
+      let results =
+        List.map
+          (fun (label, strategy, jobs) ->
+            let config = { Mumak.Config.default with Mumak.Config.strategy; jobs } in
+            (label, Mumak.Engine.analyze ~config (make_target ())))
+          strategies
+      in
+      let (_, base), rest = (List.hd results, List.tl results) in
+      List.iter
+        (fun (label, r) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s failure points" name label)
+            base.Mumak.Engine.failure_points r.Mumak.Engine.failure_points;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s injections" name label)
+            base.Mumak.Engine.injections r.Mumak.Engine.injections;
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: %s report signature" name label)
+            (Mumak.Report.signature base.Mumak.Engine.report)
+            (Mumak.Report.signature r.Mumak.Engine.report))
+        rest;
+      (* replay never re-executes: one recording, no fallback, and the free
+         stack resolution rides on it *)
+      Alcotest.(check int)
+        (name ^ ": replay j=1 costs exactly one execution")
+        1 base.Mumak.Engine.executions;
+      (match results with
+      | _ :: (_, par) :: _ ->
+          Alcotest.(check int)
+            (name ^ ": replay j=4 costs exactly one execution")
+            1 par.Mumak.Engine.executions;
+          if par.Mumak.Engine.failure_points >= 4 then
+            Alcotest.(check int)
+              (name ^ ": replay j=4 used four worker domains")
+              4
+              (List.length par.Mumak.Engine.worker_metrics)
+      | _ -> Alcotest.fail "expected a replay j=4 result");
+      base)
+
+let test_full_seeded_matrix () =
+  let bugs = all_seeded_bugs () in
+  Alcotest.(check int) "the seeded matrix has 33 bugs" 33 (List.length bugs);
+  List.iter
+    (fun (b : Bugreg.t) ->
+      ignore
+        (differential ~bugs:[ b.Bugreg.id ] b.Bugreg.id (target_for b.Bugreg.component)))
+    bugs
+
+let test_seeded_bugs_detected () =
+  (* spot-check that the matrix actually exercises the oracle: a known
+     correctness bug must be reported under the replay default *)
+  let r =
+    Bugreg.with_enabled [ "btree_insert_no_tx" ] (fun () ->
+        Mumak.Engine.analyze (target_for "btree" ()))
+  in
+  Alcotest.(check bool) "seeded bug detected by replay" true
+    (Mumak.Report.correctness_bugs r.Mumak.Engine.report <> [])
+
+let test_clean_targets () =
+  List.iter
+    (fun name -> ignore (differential ~bugs:[] name (target_for name)))
+    [ "btree"; "wort"; "hashmap_atomic"; "level_hash" ];
+  ignore
+    (differential ~bugs:[] "montage.Hashtable" (fun () ->
+         Targets.of_montage ~variant:`Buffered ~workload:(wl ~ops:40 ()) ()));
+  ignore
+    (differential ~bugs:[] "pmemkv.cmap" (fun () ->
+         Targets.of_pmemkv ~engine:Kvstores.Pmemkv.Cmap ~workload:(wl ~ops:40 ()) ()))
+
+(* --- layer 2: absint + prune on the replay substrate --- *)
+
+let replay_cfg jobs = { Mumak.Config.default with Mumak.Config.jobs }
+let unpruned jobs = { (replay_cfg jobs) with Mumak.Config.absint = true }
+let pruned jobs = { (unpruned jobs) with Mumak.Config.prune = true }
+
+let reexec_unpruned =
+  {
+    Mumak.Config.default with
+    Mumak.Config.strategy = Mumak.Config.Reexecute;
+    absint = true;
+  }
+
+let plan_of (r : Mumak.Engine.result) =
+  match r.Mumak.Engine.absint with
+  | Some { Mumak.Engine.prune = Some plan; _ } -> plan
+  | _ -> Alcotest.fail "pruned run carries no prune plan"
+
+let prune_differential name make_target =
+  let base = Mumak.Engine.analyze ~config:(unpruned 1) (make_target ()) in
+  (* the same analysis on the live substrate: replay changes nothing *)
+  let live = Mumak.Engine.analyze ~config:reexec_unpruned (make_target ()) in
+  Alcotest.(check (list string))
+    (name ^ ": replay and re-execution absint signatures")
+    (Mumak.Report.signature live.Mumak.Engine.report)
+    (Mumak.Report.signature base.Mumak.Engine.report);
+  List.iter
+    (fun jobs ->
+      let r = Mumak.Engine.analyze ~config:(pruned jobs) (make_target ()) in
+      let plan = plan_of r in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: pruned replay j=%d report signature" name jobs)
+        (Mumak.Report.signature base.Mumak.Engine.report)
+        (Mumak.Report.signature r.Mumak.Engine.report);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: pruned replay j=%d failure points" name jobs)
+        base.Mumak.Engine.failure_points r.Mumak.Engine.failure_points;
+      (* under replay the confirmation is folded into injection: confirmed
+         nominees' records are elided, so the injection count drops by
+         exactly the skip set *)
+      Alcotest.(check int)
+        (Printf.sprintf "%s: pruned replay j=%d skips exactly the plan" name jobs)
+        (base.Mumak.Engine.injections - List.length plan.Analysis.Prune.skip)
+        r.Mumak.Engine.injections;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: pruned replay j=%d plan is consistent" name jobs)
+        true
+        (plan.Analysis.Prune.confirmed + plan.Analysis.Prune.rejected
+         = plan.Analysis.Prune.proven
+        && List.length plan.Analysis.Prune.skip = plan.Analysis.Prune.confirmed))
+    [ 1; 4 ]
+
+let test_prune_clean () =
+  List.iter (fun name -> prune_differential name (target_for name)) [ "wort"; "btree" ]
+
+let test_prune_seeded () =
+  List.iter
+    (fun id ->
+      Bugreg.with_enabled [ id ] (fun () ->
+          let component =
+            match Bugreg.find id with
+            | Some b -> b.Bugreg.component
+            | None -> Alcotest.failf "unknown bug %s" id
+          in
+          prune_differential id (target_for component)))
+    [ "btree_insert_no_tx"; "level_hash_token_before_kv"; "hm_atomic_count_never_flushed" ]
+
+(* --- layer 3: arena properties --- *)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+(* A small pool of well-formed call paths: repetition exercises interning,
+   and the labels avoid the serialization metacharacters. *)
+let path_pool =
+  [ [ "_start" ]; [ "_start"; "put" ]; [ "_start"; "put"; "split" ]; [ "_start"; "del" ] ]
+
+let pool_size = 4096
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          let* addr = 0 -- (pool_size - 9) in
+          let* size = 1 -- 8 in
+          let* nt = bool in
+          return (Pmem.Op.Store { addr; size; nt }) );
+        ( 3,
+          let* kind = oneofl [ Pmem.Op.Clflush; Pmem.Op.Clflushopt; Pmem.Op.Clwb ] in
+          let* line = 0 -- 63 in
+          let* dirty = bool in
+          return (Pmem.Op.Flush { kind; line; dirty; volatile = false }) );
+        ( 2,
+          let* kind = oneofl [ Pmem.Op.Sfence; Pmem.Op.Mfence; Pmem.Op.Rmw ] in
+          let* pending_flushes = 0 -- 4 in
+          let* pending_nt = 0 -- 2 in
+          return (Pmem.Op.Fence { kind; pending_flushes; pending_nt }) );
+        ( 1,
+          let* addr = 0 -- (pool_size - 9) in
+          let* size = 1 -- 8 in
+          return (Pmem.Op.Load { addr; size }) );
+      ])
+
+let event_gen =
+  QCheck.Gen.(
+    let* n = 1 -- 40 in
+    let* ops = list_size (return n) op_gen in
+    let* stacks =
+      list_size (return n)
+        (frequency
+           [
+             ( 3,
+               let* path = oneofl path_pool in
+               let* op_index = 1 -- 5 in
+               return (Some { Pmtrace.Callstack.path; op_index }) );
+             (1, return None);
+           ])
+    in
+    return
+      (List.mapi
+         (fun i (op, stack) -> { Pmtrace.Event.seq = i + 1; op; stack })
+         (List.combine ops stacks)))
+
+let print_events evs =
+  String.concat "\n" (List.map Pmtrace.Trace.event_to_line evs)
+
+let events_arb = QCheck.make ~print:print_events event_gen
+
+let pseq_count evs =
+  List.length
+    (List.filter
+       (fun e -> match e.Pmtrace.Event.op with Pmem.Op.Load _ -> false | _ -> true)
+       evs)
+
+let arena_of evs =
+  let a = Pmtrace.Arena.create () in
+  List.iter (Pmtrace.Arena.add a) evs;
+  a
+
+let arena_tests =
+  [
+    QCheck.Test.make ~name:"pack/unpack round-trip" ~count:300 events_arb (fun evs ->
+        let a = arena_of evs in
+        Pmtrace.Arena.length a = List.length evs && Pmtrace.Arena.to_list a = evs);
+    QCheck.Test.make ~name:"get agrees with iteration order" ~count:100 events_arb
+      (fun evs ->
+        let a = arena_of evs in
+        List.for_all2
+          (fun e i -> Pmtrace.Arena.get a i = e)
+          evs
+          (List.init (List.length evs) Fun.id));
+    QCheck.Test.make ~name:"interning stability: equal paths share one copy" ~count:100
+      events_arb (fun evs ->
+        let a = arena_of evs in
+        let decoded = Pmtrace.Arena.to_list a in
+        (* the arena never interns more paths than the pool offers, and two
+           decoded events with structurally equal paths return the same
+           physical list *)
+        Pmtrace.Arena.path_count a <= List.length path_pool
+        && List.for_all
+             (fun e1 ->
+               List.for_all
+                 (fun e2 ->
+                   match (e1.Pmtrace.Event.stack, e2.Pmtrace.Event.stack) with
+                   | Some c1, Some c2
+                     when c1.Pmtrace.Callstack.path = c2.Pmtrace.Callstack.path ->
+                       c1.Pmtrace.Callstack.path == c2.Pmtrace.Callstack.path
+                   | _ -> true)
+                 decoded)
+             decoded);
+    QCheck.Test.make ~name:"path ids stable across clear" ~count:100 events_arb
+      (fun evs ->
+        let a = arena_of evs in
+        let ids =
+          List.filter_map
+            (fun (e : Pmtrace.Event.t) ->
+              Option.map
+                (fun c -> (c.Pmtrace.Callstack.path, Pmtrace.Arena.path_id a c.Pmtrace.Callstack.path))
+                e.Pmtrace.Event.stack)
+            evs
+        in
+        Pmtrace.Arena.clear a;
+        List.iter (Pmtrace.Arena.add a) evs;
+        List.for_all (fun (path, id) -> Pmtrace.Arena.path_id a path = id) ids);
+    QCheck.Test.make ~name:"serialize/deserialize equals list-backed round-trip"
+      ~count:200 events_arb (fun evs ->
+        (* arena-backed: through Trace.t (an arena underneath) *)
+        let t = Pmtrace.Trace.create () in
+        List.iter (Pmtrace.Trace.add t) evs;
+        let arena_rt =
+          Pmtrace.Trace.to_list (Pmtrace.Trace.deserialize (Pmtrace.Trace.serialize t))
+        in
+        (* list-backed: line-by-line through the event codec *)
+        let list_rt =
+          List.map
+            (fun e -> Pmtrace.Trace.event_of_line (Pmtrace.Trace.event_to_line e))
+            evs
+        in
+        arena_rt = list_rt && arena_rt = evs);
+    QCheck.Test.make ~name:"rewrite on arena recordings = rewrite on lists" ~count:200
+      (QCheck.pair events_arb (QCheck.make QCheck.Gen.(0 -- 1000)))
+      (fun (evs, salt) ->
+        let np = pseq_count evs in
+        QCheck.assume (np > 0);
+        (* insertions anchored on live pseqs always apply; deletions would
+           need a matching instruction at the anchor, which the list and
+           arena paths must agree on anyway via the shared rewriter *)
+        let edits =
+          [
+            Pmtrace.Replay.Insert_flush_after { pseq = 1 + (salt mod np); line = salt mod 64 };
+            Pmtrace.Replay.Insert_fence_after { pseq = 1 + (salt / 7 mod np) };
+          ]
+        in
+        let t = Pmtrace.Replay.of_events ~pool_size evs in
+        Pmtrace.Replay.events (Pmtrace.Replay.rewrite t edits)
+        = Pmtrace.Replay.rewrite_events evs edits);
+    QCheck.Test.make ~name:"materialized images = device-replay crash images" ~count:100
+      events_arb (fun evs ->
+        let np = pseq_count evs in
+        np = 0
+        ||
+        let t = Pmtrace.Replay.of_events ~pool_size evs in
+        (* batch-materialize every persistency index; snapshot each view
+           inside the callback (it reads through the shared prefix and is
+           only valid there) *)
+        let materialized = Hashtbl.create np in
+        let unreached =
+          Pmtrace.Replay.materialize t
+            ~points:(List.init np (fun i -> (i + 1, i + 1)))
+            ~f:(fun ~key image ->
+              Hashtbl.replace materialized key (Pmem.Image.snapshot image))
+        in
+        (* reference: a full device replay capturing the program-prefix
+           crash image at each event's arrival *)
+        let reference = Hashtbl.create np in
+        ignore
+          (Pmtrace.Replay.replay t ~on_event:(fun device ~pseq e ->
+               match e.Pmtrace.Event.op with
+               | Pmem.Op.Load _ -> ()
+               | _ ->
+                   Hashtbl.replace reference pseq
+                     (Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix)));
+        unreached = []
+        && Hashtbl.length materialized = np
+        && List.for_all
+             (fun p ->
+               Pmem.Image.equal (Hashtbl.find materialized p) (Hashtbl.find reference p))
+             (List.init np (fun i -> i + 1)));
+  ]
+
+let () =
+  Alcotest.run "replay-engine"
+    [
+      ( "strategy-differential",
+        [
+          Alcotest.test_case "all 33 seeded bugs, four engines" `Slow
+            test_full_seeded_matrix;
+          Alcotest.test_case "seeded bug detected under replay" `Slow
+            test_seeded_bugs_detected;
+          Alcotest.test_case "clean targets, four engines" `Slow test_clean_targets;
+        ] );
+      ( "absint-prune",
+        [
+          Alcotest.test_case "clean targets" `Slow test_prune_clean;
+          Alcotest.test_case "seeded bugs" `Slow test_prune_seeded;
+        ] );
+      qsuite "arena" arena_tests;
+    ]
