@@ -2,7 +2,7 @@
    evaluation (section 6) on the simulated substrate.
 
    Usage: main.exe [table1|fig3|fig4|table2|coverage|fig5|newbugs|table3|
-                    ablation|scaling|micro]...
+                    ablation|scaling|micro|trend]...
    With no argument, every experiment runs in sequence. Workload sizes and
    timeouts are scaled down (seconds instead of hours); EXPERIMENTS.md maps
    each output to the corresponding paper claim. *)
@@ -20,18 +20,51 @@ let section title =
    validate path in seconds. The flag is recorded in the output. *)
 let smoke = Sys.getenv_opt "MUMAK_BENCH_SMOKE" <> None
 
+(* Per-experiment wall/alloc totals for the envelope's meta stamp, reset by
+   [bench_telemetry_begin]. *)
+let bench_clock = ref (Unix.gettimeofday ())
+let bench_alloc = ref (Gc.allocated_bytes ())
+
 (* Start an instrumented experiment: turn the collector on and discard
    anything a previous experiment left buffered, so the dump written by
    [write_bench] covers exactly this experiment's runs. *)
 let bench_telemetry_begin () =
   Telemetry.Collector.enable ();
-  ignore (Telemetry.Collector.drain ())
+  ignore (Telemetry.Collector.drain ());
+  bench_clock := Unix.gettimeofday ();
+  bench_alloc := Gc.allocated_bytes ()
 
-(* Envelope shared with `mumak validate`: schema "mumak.bench" version 1
+let git_commit =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       ignore (Unix.close_process_in ic);
+       if String.trim line = "" then "unknown" else String.trim line
+     with _ -> "unknown")
+
+(* The v2 meta stamp: enough provenance to interpret an envelope long after
+   the run — which commit, which compiler, how parallel the host was — plus
+   the wall/alloc totals the `trend` gate compares across recorded runs. *)
+let bench_meta () =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("git_commit", String (Lazy.force git_commit));
+      ("ocaml_version", String Sys.ocaml_version);
+      ("host_cores", Int (Domain.recommended_domain_count ()));
+      ("smoke", Bool smoke);
+      ("wall_seconds", Float (Unix.gettimeofday () -. !bench_clock));
+      ("allocated_bytes", Float (Gc.allocated_bytes () -. !bench_alloc));
+    ]
+
+(* Envelope shared with `mumak validate`: schema "mumak.bench" version 2
    with the experiment name, target, full Config, per-configuration result
-   rows, the telemetry counters/histograms of the experiment's runs, and
-   the report signature (so a regression in *what* was found, not just how
-   fast, is visible from the artifact alone). *)
+   rows, the telemetry counters/histograms of the experiment's runs, the
+   report signature (so a regression in *what* was found, not just how
+   fast, is visible from the artifact alone) and the meta stamp. When
+   MUMAK_STORE names a results ledger the envelope is also appended to its
+   bench history, which is what `main.exe trend` judges. *)
 let write_bench ~experiment ~target ~config ~rows ~signature =
   let dump = Telemetry.Collector.drain () in
   let open Telemetry.Json in
@@ -39,10 +72,11 @@ let write_bench ~experiment ~target ~config ~rows ~signature =
     Assoc
       [
         ("schema", String "mumak.bench");
-        ("version", Int 1);
+        ("version", Int 2);
         ("experiment", String experiment);
         ("target", String target);
         ("smoke", Bool smoke);
+        ("meta", bench_meta ());
         ("config", Mumak.Config.to_json config);
         ("rows", List rows);
         ( "counters",
@@ -65,7 +99,13 @@ let write_bench ~experiment ~target ~config ~rows ~signature =
     (fun () ->
       output_string oc (to_string json);
       output_char oc '\n');
-  Fmt.pr "@.machine-readable results: %s@." path
+  Fmt.pr "@.machine-readable results: %s@." path;
+  match Sys.getenv_opt "MUMAK_STORE" with
+  | Some dir when dir <> "" ->
+      let ledger = Store.Ledger.open_ ~dir () in
+      Store.Ledger.append_bench ledger json;
+      Fmt.pr "appended envelope to %s@." (Store.Ledger.bench_path ledger)
+  | _ -> ()
 
 let phase_metrics (r : Mumak.Engine.result) =
   Telemetry.Json.Assoc
@@ -1198,6 +1238,31 @@ let replay_bench () =
         Fmt.(list ~sep:comma string)
         (List.rev ids)
 
+(* ------------------------------------------------------------------ *)
+(* trend: judge the stored bench history against its baselines          *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a benchmark: reads the envelopes earlier runs appended to the
+   results ledger (MUMAK_STORE) and fails when the newest run of any
+   experiment regressed in wall time or allocation beyond the threshold —
+   the CI gate over performance, next to the report-signature gate over
+   findings. *)
+let trend () =
+  section "bench trend gate";
+  let ledger = Store.Ledger.open_ () in
+  let history = Store.Ledger.bench_history ledger in
+  match Store.Trend.check history with
+  | [] ->
+      Fmt.pr "no bench envelopes recorded in %s yet@."
+        (Store.Ledger.bench_path ledger)
+  | verdicts ->
+      List.iter (fun v -> Fmt.pr "%a@." Store.Trend.pp_verdict v) verdicts;
+      if Store.Trend.any_regressed verdicts then begin
+        Fmt.pr "@.TREND REGRESSION: newest run exceeds its stored baseline@.";
+        exit 1
+      end
+      else Fmt.pr "@.all experiments within their envelopes@."
+
 let experiments =
   [
     ("table1", table1);
@@ -1215,6 +1280,7 @@ let experiments =
     ("absint", absint_bench);
     ("replay", replay_bench);
     ("micro", micro);
+    ("trend", trend);
   ]
 
 let () =

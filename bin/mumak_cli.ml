@@ -34,7 +34,8 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
 let run name ops key_range seed version_str grouped strategy_str bugs no_warnings
-    store_level jobs static lint verify_fixes absint prune trace_out metrics_out progress =
+    store_level jobs static lint verify_fixes absint prune trace_out metrics_out progress
+    store_dir =
   let version =
     match version_str with
     | "1.6" -> Pmalloc.Version.V1_6
@@ -117,6 +118,25 @@ let run name ops key_range seed version_str grouped strategy_str bugs no_warning
         (match result.Mumak.Engine.first_bug_injection with
         | Some n -> string_of_int n
         | None -> "none found");
+      (match store_dir with
+      | None -> ()
+      | Some dir ->
+          (* The workload descriptor is part of the run's content address:
+             anything that changes what the target executed (including which
+             seeded bugs were armed) must change the run id. *)
+          let workload_desc =
+            Printf.sprintf "standard:ops=%d,keys=%d,seed=%d,version=%s,grouped=%b%s" ops
+              key_range seed version_str grouped
+              (match bugs with
+              | [] -> ""
+              | l -> ",bugs=" ^ String.concat "+" (List.sort compare l))
+          in
+          let record =
+            Store.Record.of_result ~target:name ~workload:workload_desc ~config result
+          in
+          let ledger = Store.Ledger.open_ ~dir () in
+          let id = Store.Ledger.append_run ledger record in
+          Fmt.pr "recorded run %s in %s@." id dir);
       exit (if Mumak.Report.bugs result.Mumak.Engine.report <> [] then 1 else 0)
 
 let name_arg =
@@ -233,12 +253,22 @@ let progress_arg =
            ETA, first-bug marker). Automatically silent when stderr is not a \
            terminal.")
 
+let store_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Append this run to the results ledger in $(docv): a \
+           content-addressed run record carrying the report, counters, \
+           metrics and a provenance record per finding. Query it later with \
+           `mumak query', `mumak explain' and `mumak diff'.")
+
 let analyze_term =
   Term.(
     const run $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
     $ grouped_arg $ strategy_arg $ bugs_arg $ no_warnings_arg $ store_level_arg
     $ jobs_arg $ static_arg $ lint_arg $ verify_fixes_arg $ absint_arg $ prune_arg
-    $ trace_out_arg $ metrics_out_arg $ progress_arg)
+    $ trace_out_arg $ metrics_out_arg $ progress_arg $ store_arg)
 
 let analyze_cmd =
   let doc = "Detect crash-consistency and performance bugs in a PM application." in
@@ -256,6 +286,163 @@ let list_cmd =
       $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* query / explain / diff: the results-store surface                   *)
+(* ------------------------------------------------------------------ *)
+
+let ledger_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Results ledger directory (default: $(b,MUMAK_STORE) or \
+           _mumak/store).")
+
+let open_ledger dir = Store.Ledger.open_ ?dir ()
+
+let short id = String.sub id 0 (min 12 (String.length id))
+
+let query store_dir target_filter kind_filter phase_filter digest_filter show_findings =
+  let ledger = open_ledger store_dir in
+  let runs = Store.Ledger.load_all ledger in
+  let contains ~needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+    needle = "" || at 0
+  in
+  let run_matches (r : Store.Record.t) =
+    (match target_filter with
+    | Some t -> String.equal t r.Store.Record.target
+    | None -> true)
+    && (match digest_filter with
+       | Some d -> String.starts_with ~prefix:d r.Store.Record.config_digest
+       | None -> true)
+  in
+  let finding_matches (f : Store.Record.finding) =
+    (match kind_filter with
+    | Some k -> contains ~needle:k f.Store.Record.f_kind
+    | None -> true)
+    && match phase_filter with
+       | Some p -> String.equal p f.Store.Record.f_phase
+       | None -> true
+  in
+  let filtering_findings = kind_filter <> None || phase_filter <> None in
+  let shown = ref 0 in
+  List.iter
+    (fun (r : Store.Record.t) ->
+      if run_matches r then begin
+        let findings = List.filter finding_matches r.Store.Record.findings in
+        if (not filtering_findings) || findings <> [] then begin
+          incr shown;
+          Fmt.pr "%a@." Store.Record.pp r;
+          if show_findings || filtering_findings then
+            List.iteri
+              (fun i (f : Store.Record.finding) ->
+                Fmt.pr "  %d. %s [%s] %s: %s@." (i + 1)
+                  (short f.Store.Record.f_id)
+                  f.Store.Record.f_phase f.Store.Record.f_kind f.Store.Record.f_detail)
+              findings
+        end
+      end)
+    runs;
+  if !shown = 0 then Fmt.pr "no matching runs (%d in ledger)@." (List.length runs);
+  exit 0
+
+let query_cmd =
+  let doc =
+    "List recorded runs and findings, filtered by target, finding kind \
+     (substring), phase or configuration digest (prefix)."
+  in
+  let target_arg =
+    Arg.(value & opt (some string) None & info [ "target" ] ~doc:"Only runs of this target.")
+  in
+  let kind_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "kind" ] ~doc:"Only findings whose kind contains this substring.")
+  in
+  let phase_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "phase" ]
+          ~doc:
+            "Only findings from this phase (fault_injection | trace_analysis \
+             | static_analysis | abs_interp | lint).")
+  in
+  let digest_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "config-digest" ] ~doc:"Only runs whose configuration digest starts with this.")
+  in
+  let findings_arg =
+    Arg.(value & flag & info [ "findings" ] ~doc:"List each run's findings too.")
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const query $ ledger_dir_arg $ target_arg $ kind_arg $ phase_arg $ digest_arg
+      $ findings_arg)
+
+let explain store_dir jsonl run_sel finding_sel =
+  let ledger = open_ledger store_dir in
+  match Store.Ledger.load_run ledger run_sel with
+  | Error e -> usage_error "%s" e
+  | Ok record -> (
+      match Store.Explain.find record finding_sel with
+      | Error e -> usage_error "%s" e
+      | Ok pair ->
+          if jsonl then print_string (Store.Explain.chain_to_string record pair)
+          else Fmt.pr "%a" Store.Explain.pp (record, pair);
+          exit 0)
+
+let explain_cmd =
+  let doc =
+    "Print the causal chain behind one finding of a recorded run: failure \
+     point, trace window, witness, crash-vs-recovered image diff and \
+     verdict."
+  in
+  let run_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN" ~doc:"Run id (or unique prefix).")
+  in
+  let finding_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"FINDING"
+          ~doc:"Finding id prefix, exact signature, or 1-based index in the run.")
+  in
+  let jsonl_arg =
+    Arg.(value & flag & info [ "jsonl" ] ~doc:"Emit the chain as JSON Lines instead of text.")
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const explain $ ledger_dir_arg $ jsonl_arg $ run_arg $ finding_arg)
+
+let diff_runs store_dir json_out run_a run_b =
+  let ledger = open_ledger store_dir in
+  match (Store.Ledger.load_run ledger run_a, Store.Ledger.load_run ledger run_b) with
+  | Error e, _ | _, Error e -> usage_error "%s" e
+  | Ok a, Ok b ->
+      let d = Store.Diff.compute a b in
+      if json_out then print_endline (Telemetry.Json.to_string (Store.Diff.to_json d))
+      else Fmt.pr "%a" Store.Diff.pp d;
+      (* scriptable: new findings are the regression signal *)
+      exit (if d.Store.Diff.new_findings = [] then 0 else 1)
+
+let diff_cmd =
+  let doc =
+    "Compare two recorded runs by finding signature: new, fixed and \
+     persisting findings. Exits 1 when run B has findings absent from run A."
+  in
+  let run_a_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_A" ~doc:"Baseline run id.")
+  in
+  let run_b_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"RUN_B" ~doc:"Candidate run id.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the diff as a mumak.store JSON record.")
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(const diff_runs $ ledger_dir_arg $ json_arg $ run_a_arg $ run_b_arg)
+
+(* ------------------------------------------------------------------ *)
 (* validate: schema checks over the files mumak and bench emit         *)
 (* ------------------------------------------------------------------ *)
 
@@ -265,27 +452,59 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let bench_schema_version = 2
+
 (* BENCH_*.json envelope shared with bench/main.ml: schema "mumak.bench"
-   version 1, experiment/target strings, the full Config, and a list of
-   result rows. *)
+   version 2, experiment/target strings, the full Config, a list of result
+   rows and — new in v2 — a "meta" stamp (git commit, OCaml version, host
+   cores, smoke flag, wall/alloc totals) that the trend gate compares
+   across recorded runs. *)
 let validate_bench json =
   let open Telemetry.Json in
   let field k cast = Option.bind (member k json) cast in
   let str k = field k to_string_opt in
   match (str "schema", field "version" to_int_opt) with
-  | Some "mumak.bench", Some 1 -> (
+  | Some "mumak.bench", Some 2 -> (
       match
         (str "experiment", str "target", field "config" to_assoc_opt,
          field "rows" to_list_opt)
       with
-      | Some _, Some _, Some _, Some rows ->
-          Ok (Printf.sprintf "mumak.bench v1, %d row(s)" (List.length rows))
+      | Some _, Some _, Some _, Some rows -> (
+          match field "meta" to_assoc_opt with
+          | None -> Error "bench file: missing object field \"meta\""
+          | Some _ ->
+              let meta = Option.get (member "meta" json) in
+              let meta_field k cast = Option.bind (member k meta) cast in
+              let missing =
+                List.filter_map Fun.id
+                  [
+                    (if meta_field "git_commit" to_string_opt = None then
+                       Some "git_commit" else None);
+                    (if meta_field "ocaml_version" to_string_opt = None then
+                       Some "ocaml_version" else None);
+                    (if meta_field "host_cores" to_int_opt = None then
+                       Some "host_cores" else None);
+                    (if meta_field "wall_seconds" to_float_opt = None then
+                       Some "wall_seconds" else None);
+                    (if meta_field "allocated_bytes" to_float_opt = None then
+                       Some "allocated_bytes" else None);
+                  ]
+              in
+              if missing = [] then
+                Ok (Printf.sprintf "mumak.bench v2, %d row(s)" (List.length rows))
+              else
+                Error
+                  (Printf.sprintf "bench file: meta is missing %s"
+                     (String.concat ", " missing)))
       | None, _, _, _ -> Error "bench file: missing string field \"experiment\""
       | _, None, _, _ -> Error "bench file: missing string field \"target\""
       | _, _, None, _ -> Error "bench file: missing object field \"config\""
       | _, _, _, None -> Error "bench file: missing list field \"rows\""
       )
-  | Some "mumak.bench", Some v -> Error (Printf.sprintf "bench file: unknown version %d" v)
+  | Some "mumak.bench", Some v ->
+      Error
+        (Printf.sprintf "bench file: unknown version %d (current is %d)" v
+           bench_schema_version)
   | _ -> Error "not a mumak.bench file"
 
 let is_jsonl contents =
@@ -316,11 +535,17 @@ let validate_one path =
         | Error e -> Error (Printf.sprintf "JSON parse error: %s" e)
         | Ok json -> (
             match Telemetry.Json.member "traceEvents" json with
-            | None -> validate_bench json
             | Some _ ->
                 Result.map
                   (fun n -> Printf.sprintf "chrome trace, %d event(s)" n)
-                  (Telemetry.Chrome_trace.validate json)))
+                  (Telemetry.Chrome_trace.validate json)
+            | None ->
+                if
+                  Option.bind (Telemetry.Json.member "schema" json)
+                    Telemetry.Json.to_string_opt
+                  = Some Store.Record.schema_name
+                then Store.Schema.validate json
+                else validate_bench json))
 
 let validate files =
   let failed = ref false in
@@ -336,9 +561,11 @@ let validate files =
 
 let validate_cmd =
   let doc =
-    "Validate telemetry and benchmark output files (Chrome trace JSON from \
-     --trace-out, JSON Lines from --metrics-out, BENCH_*.json from the bench \
-     harness) against their schemas. Exits 2 on any malformed file."
+    "Validate telemetry, benchmark and results-store output files (Chrome \
+     trace JSON from --trace-out, JSON Lines from --metrics-out, \
+     BENCH_*.json from the bench harness, run and diff records from the \
+     mumak.store ledger) against their schemas. Exits 2 on any malformed \
+     file."
   in
   let files_arg =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"File(s) to validate.")
@@ -349,7 +576,8 @@ let () =
   let info = Cmd.info "mumak" ~doc:"Black-box bug detection for persistent memory" in
   match
     Cmd.eval ~catch:false
-      (Cmd.group ~default:analyze_term info [ analyze_cmd; list_cmd; validate_cmd ])
+      (Cmd.group ~default:analyze_term info
+         [ analyze_cmd; list_cmd; validate_cmd; query_cmd; explain_cmd; diff_cmd ])
   with
   | 0 -> exit 0
   | _ -> exit 2 (* cmdliner usage/parse errors all map to the error code *)

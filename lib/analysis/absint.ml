@@ -450,3 +450,31 @@ let pp ppf t =
   Fmt.pf ppf "absint: %d nodes, %d edges, %d runs merged, %d findings, %d sites proven safe"
     (Cfg.node_count t.cfg) (Cfg.edge_count t.cfg) t.cfg.Cfg.runs
     (List.length t.findings) (proven_count t)
+
+(** Ledger encoding of one merged-path finding (the path witness rides in
+    [f_detail]). *)
+let finding_to_json (f : finding) =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("kind", String (kind_to_string f.f_kind));
+      ("line", Int f.f_line);
+      ( "site",
+        match f.f_site with
+        | None -> Null
+        | Some c -> String (Pmtrace.Callstack.capture_to_string c) );
+      ("pseq", Int f.f_pseq);
+      ("detail", String f.f_detail);
+    ]
+
+(** Ledger encoding of the phase: CFG size, per-site safety proof count and
+    the findings with their path witnesses. *)
+let to_json t =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("nodes", Int (Cfg.node_count t.cfg));
+      ("proven_sites", Int (proven_count t));
+      ("eadr", Bool t.eadr);
+      ("findings", List (List.map finding_to_json t.findings));
+    ]

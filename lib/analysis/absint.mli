@@ -93,3 +93,8 @@ val proven_safe_at : t -> Pmtrace.Callstack.capture -> bool
     carries a stale (pre-epoch) dirty or pending fact. *)
 
 val pp : Format.formatter -> t -> unit
+
+val finding_to_json : finding -> Telemetry.Json.t
+val to_json : t -> Telemetry.Json.t
+(** Ledger encoding: CFG size, safety-proof count, findings with their
+    path witnesses. *)

@@ -369,3 +369,39 @@ let pp ppf t =
     t.events t.epochs t.redundant_flushes t.redundant_fences t.missing_flush_spots
     t.cycles_saved t.events_saved;
   List.iter (fun f -> Fmt.pf ppf "@.%a" pp_finding f) t.findings
+
+(** Ledger encoding of one anti-pattern site. *)
+let finding_to_json (f : finding) =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("kind", String (kind_to_string f.l_kind));
+      ("pseq", Int f.l_pseq);
+      ( "stack",
+        match f.l_stack with
+        | None -> Null
+        | Some c -> String (Pmtrace.Callstack.capture_to_string c) );
+      ("line", Int f.l_line);
+      ("detail", String f.l_detail);
+      ("fix", match f.l_fix with None -> Null | Some fx -> String (Fix.to_string fx));
+      ("cycles_saved", Int f.l_cycles);
+      ("events_saved", Int f.l_events);
+    ]
+
+(** Ledger encoding of the phase: epoch/flush/fence tallies plus every
+    finding site. *)
+let to_json t =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("events", Int t.events);
+      ("epochs", Int t.epochs);
+      ("flushes", Int t.flushes);
+      ("fences", Int t.fences);
+      ("redundant_flushes", Int t.redundant_flushes);
+      ("redundant_fences", Int t.redundant_fences);
+      ("missing_flush_spots", Int t.missing_flush_spots);
+      ("cycles_saved", Int t.cycles_saved);
+      ("events_saved", Int t.events_saved);
+      ("findings", List (List.map finding_to_json t.findings));
+    ]

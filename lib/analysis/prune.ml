@@ -87,3 +87,18 @@ let pp ppf plan =
     "prune: proven-safe %d/%d failure points (confirmed %d, rejected %d), skipping %d \
      injection(s)"
     plan.proven plan.total plan.confirmed plan.rejected (List.length plan.skip)
+
+(** Machine encoding for the run ledger: the plan's tallies plus the
+    skipped ordinals (the nominations themselves are reconstructible from
+    the absint output and the failure-point enumeration). *)
+let plan_to_json p =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("total", Int p.total);
+      ("proven", Int p.proven);
+      ("confirmed", Int p.confirmed);
+      ("rejected", Int p.rejected);
+      ("skipped", Int (List.length p.skip));
+      ("skip", List (List.map (fun o -> Int o) p.skip));
+    ]

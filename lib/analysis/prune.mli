@@ -38,3 +38,6 @@ val decide : confirmed:(int -> bool) -> nomination list -> plan
 
 val skip_fraction : plan -> float
 val pp : Format.formatter -> plan -> unit
+
+val plan_to_json : plan -> Telemetry.Json.t
+(** Ledger encoding: tallies plus the skipped ordinals. *)

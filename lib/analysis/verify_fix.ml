@@ -338,3 +338,33 @@ let pp ppf t =
   Fmt.pf ppf "fix verdicts: proven=%d ineffective=%d harmful=%d (%d replay(s))" t.proven
     t.ineffective t.harmful t.replays;
   List.iter (fun o -> Fmt.pf ppf "@.  %a" pp_outcome o) t.outcomes
+
+(** Ledger encoding of one replay-backed verdict. *)
+let outcome_to_json (o : outcome) =
+  let open Telemetry.Json in
+  let c = o.o_candidate in
+  Assoc
+    [
+      ("source", String (source_to_string c.c_source));
+      ("kind", String c.c_kind);
+      ( "stack",
+        match c.c_stack with
+        | None -> Null
+        | Some s -> String (Pmtrace.Callstack.capture_to_string s) );
+      ("pseq", Int c.c_pseq);
+      ("fix", String (Fix.to_string c.c_fix));
+      ("verdict", String (verdict_to_string o.o_verdict));
+      ("detail", String o.o_detail);
+    ]
+
+(** Ledger encoding of the phase: the verdict tally plus every outcome. *)
+let to_json t =
+  let open Telemetry.Json in
+  Assoc
+    [
+      ("proven", Int t.proven);
+      ("ineffective", Int t.ineffective);
+      ("harmful", Int t.harmful);
+      ("replays", Int t.replays);
+      ("outcomes", List (List.map outcome_to_json t.outcomes));
+    ]

@@ -87,3 +87,7 @@ val verify :
 
 val pp_outcome : outcome Fmt.t
 val pp : t Fmt.t
+
+val outcome_to_json : outcome -> Telemetry.Json.t
+val to_json : t -> Telemetry.Json.t
+(** Ledger encodings: the verdict tally plus every outcome. *)

@@ -45,6 +45,14 @@ type result = {
   worker_metrics : Metrics.t list;
       (** per-domain breakdown of the parallel injection phase; empty when
           the injection ran sequentially *)
+  trace_signature : string;
+      (** digest of the recorded event stream (or of the trace-level
+          counters when no recording was made) — the workload-identity
+          component of the run ledger's content address *)
+  provenance : Provenance.t list;
+      (** causal evidence per finding, in {!Report.ordered} order: failure
+          point, trace window, witness, oracle verdict and crash-vs-
+          recovered image diff where applicable *)
 }
 
 (* Re-run the target once with minimal instrumentation to attach call
@@ -580,6 +588,168 @@ let analyze ?(config = Config.default) (target : Target.t) =
                 ^ " — " ^ o.Analysis.Verify_fix.o_detail)
           | None -> ())
         v.Analysis.Verify_fix.outcomes);
+  (* Provenance: causal evidence per finding, captured before the result is
+     sealed. When the shared recording exists (any offline phase, or the
+     replay strategy — i.e. the default) the trace windows and the
+     crash-vs-recovered image diffs are read off it by offline
+     rematerialization, which costs recoveries but never a target
+     execution; without a recording the evidence degrades to witness and
+     verdict. *)
+  let recorded_events = Option.map Pmtrace.Replay.events !recording_ref in
+  let trace_signature =
+    match recorded_events with
+    | Some events ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun (e : Pmtrace.Event.t) ->
+            Buffer.add_string buf (Pmem.Op.to_string e.Pmtrace.Event.op);
+            Buffer.add_char buf '\n')
+          events;
+        Digest.to_hex (Digest.string (Buffer.contents buf))
+    | None ->
+        Digest.to_hex
+          (Digest.string
+             (Printf.sprintf "%s#%d#%d#%d#%d" target.Target.name
+                (Trace_analysis.event_count ta) pm_stats.Pmem.Stats.stores
+                (Pmem.Stats.flushes pm_stats) (Pmem.Stats.fences pm_stats)))
+  in
+  let provenance =
+    let events = Option.map Array.of_list recorded_events in
+    let index_of_seq =
+      lazy
+        (let tbl = Hashtbl.create 256 in
+         (match events with
+         | Some evs ->
+             Array.iteri
+               (fun i (e : Pmtrace.Event.t) -> Hashtbl.replace tbl e.Pmtrace.Event.seq i)
+               evs
+         | None -> ());
+         tbl)
+    in
+    let window_at anchor_index =
+      match events with
+      | None -> []
+      | Some evs when anchor_index < 0 || anchor_index >= Array.length evs -> []
+      | Some evs ->
+          let lo = max 0 (anchor_index - Provenance.window_radius) in
+          let hi = min (Array.length evs - 1) (anchor_index + Provenance.window_radius) in
+          List.init
+            (hi - lo + 1)
+            (fun k ->
+              let i = lo + k in
+              let e = evs.(i) in
+              Printf.sprintf "%c #%d %s"
+                (if i = anchor_index then '>' else ' ')
+                e.Pmtrace.Event.seq
+                (Pmem.Op.to_string e.Pmtrace.Event.op))
+    in
+    (* persistency index of each failure-point ordinal, read off the
+       recording — the same enumeration the offline phases use *)
+    let pseq_of_ordinal = Hashtbl.create 64 in
+    (match recorded_events with
+    | Some evs ->
+        List.iter
+          (fun (ordinal, pseq, _) -> Hashtbl.replace pseq_of_ordinal ordinal pseq)
+          (Fault_injection.offline_points config evs)
+    | None -> ());
+    let fi_bugs = Fault_injection.bug_records fi_result in
+    (* Crash-vs-recovered image diff per oracle-flagged point: the crash
+       image is rematerialized from the recording in one batched pass,
+       snapshotted, recovered in place, and diffed against the persisted
+       result at cache-line granularity. *)
+    let diffs : (int, Provenance.image_diff) Hashtbl.t = Hashtbl.create 8 in
+    (match !recording_ref with
+    | Some r when fi_bugs <> [] ->
+        let wanted =
+          List.filter_map
+            (fun (rc : Fault_injection.record) ->
+              let ordinal = rc.Fault_injection.point.Fp_tree.ordinal in
+              Option.map
+                (fun pseq -> (ordinal, pseq))
+                (Hashtbl.find_opt pseq_of_ordinal ordinal))
+            fi_bugs
+        in
+        ignore
+          (Pmtrace.Replay.materialize r ~points:wanted ~f:(fun ~key image ->
+               let crash = Pmem.Image.snapshot image in
+               let device = Pmem.Device.adopt ~eadr:config.Config.eadr image in
+               ignore (Oracle.classify target.Target.recover device);
+               let recovered = Pmem.Device.persisted_image device in
+               Hashtbl.replace diffs key (Provenance.image_diff ~crash ~recovered)))
+    | _ -> ());
+    let fi_evidence = Hashtbl.create 16 in
+    List.iter
+      (fun (rc : Fault_injection.record) ->
+        let p = rc.Fault_injection.point in
+        Hashtbl.replace fi_evidence
+          (Pmtrace.Callstack.capture_to_string p.Fp_tree.capture)
+          rc)
+      fi_bugs;
+    List.map
+      (fun (f : Report.finding) ->
+        let signature = Report.finding_signature f in
+        let stack =
+          Option.map
+            (fun (c : Pmtrace.Callstack.capture) ->
+              (c.Pmtrace.Callstack.path, c.Pmtrace.Callstack.op_index))
+            f.Report.stack
+        in
+        let fi_record =
+          match (f.Report.phase, f.Report.stack) with
+          | Report.Fault_injection, Some c ->
+              Hashtbl.find_opt fi_evidence (Pmtrace.Callstack.capture_to_string c)
+          | _ -> None
+        in
+        let failure_point =
+          Option.map
+            (fun (rc : Fault_injection.record) ->
+              let p = rc.Fault_injection.point in
+              {
+                Provenance.fp_path = p.Fp_tree.capture.Pmtrace.Callstack.path;
+                fp_op_index = p.Fp_tree.capture.Pmtrace.Callstack.op_index;
+                fp_ordinal = p.Fp_tree.ordinal;
+                fp_pseq = Hashtbl.find_opt pseq_of_ordinal p.Fp_tree.ordinal;
+              })
+            fi_record
+        in
+        let anchor_index =
+          match (failure_point, f.Report.seq) with
+          | Some { Provenance.fp_pseq = Some pseq; _ }, _ ->
+              (* load-free recording: pseq = 1-based event position *)
+              Some (pseq - 1)
+          | _, Some seq -> (
+              match Hashtbl.find_opt (Lazy.force index_of_seq) seq with
+              | Some i -> Some i
+              | None -> Some (seq - 1))
+          | _ -> None
+        in
+        let window = match anchor_index with Some i -> window_at i | None -> [] in
+        let witness, verdict =
+          match fi_record with
+          | Some rc ->
+              let o = Oracle.to_string rc.Fault_injection.oracle in
+              (o, Some o)
+          | None -> (f.Report.detail, Report.annotation report f)
+        in
+        {
+          Provenance.p_finding = Provenance.id_of_signature signature;
+          p_signature = signature;
+          p_kind = Report.kind_to_string f.Report.kind;
+          p_phase = Report.phase_to_string f.Report.phase;
+          p_detail = f.Report.detail;
+          p_stack = stack;
+          p_seq = f.Report.seq;
+          p_failure_point = failure_point;
+          p_window = window;
+          p_witness = witness;
+          p_verdict = verdict;
+          p_fix = Option.map Analysis.Fix.to_string f.Report.fix;
+          p_image_diff =
+            Option.bind fi_record (fun (rc : Fault_injection.record) ->
+                Hashtbl.find_opt diffs rc.Fault_injection.point.Fp_tree.ordinal);
+        })
+      (Report.ordered report)
+  in
   let result =
     {
       report;
@@ -606,6 +776,8 @@ let analyze ?(config = Config.default) (target : Target.t) =
       fix_verdicts;
       first_bug_injection = Fault_injection.injections_to_first_bug fi_result;
       worker_metrics = fi_result.Fault_injection.worker_metrics;
+      trace_signature;
+      provenance;
     }
   in
   (* Pipeline-level counters, so the exported telemetry is a self-contained

@@ -48,6 +48,14 @@ type result = {
   worker_metrics : Metrics.t list;
       (** per-domain breakdown of the parallel injection phase
           ([Config.jobs] entries); empty when injection ran sequentially *)
+  trace_signature : string;
+      (** digest of the recorded event stream (or of the trace-level
+          counters when no recording was made) — the workload-identity
+          component of the run ledger's content address *)
+  provenance : Provenance.t list;
+      (** causal evidence per finding, in {!Report.ordered} order: failure
+          point, trace window, witness, oracle verdict and crash-vs-
+          recovered image diff where applicable *)
 }
 
 val resolve_stacks :

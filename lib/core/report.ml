@@ -51,6 +51,13 @@ let kind_to_string = function
 
 type phase = Fault_injection | Trace_analysis | Static_analysis | Abs_interp | Lint
 
+let phase_to_string = function
+  | Fault_injection -> "fault_injection"
+  | Trace_analysis -> "trace_analysis"
+  | Static_analysis -> "static_analysis"
+  | Abs_interp -> "abs_interp"
+  | Lint -> "lint"
+
 type finding = {
   kind : kind;
   phase : phase;
@@ -154,13 +161,17 @@ let performance_bugs t = List.filter (fun f -> not (kind_is_correctness f.kind))
 
 let merge ~into src = List.iter (fun f -> ignore (add into f)) (findings src)
 
-(** Canonical content signature: the sorted dedup key of every finding,
-    each rendered with its full detail text. Two reports with equal
-    signatures contain byte-for-byte the same unique findings — the
-    equality the differential tests assert across injection strategies and
-    worker counts. *)
-let signature t =
-  List.map (fun f -> finding_key f ^ "|" ^ f.detail) (findings t) |> List.sort compare
+(** One finding's entry in {!signature}: the dedup key with the full detail
+    text — the stable per-finding identity the results store keys
+    provenance records and cross-run diffs on. *)
+let finding_signature f = finding_key f ^ "|" ^ f.detail
+
+(* Canonical content signature: the sorted dedup key of every finding,
+   each rendered with its full detail text. Two reports with equal
+   signatures contain byte-for-byte the same unique findings — the
+   equality the differential tests assert across injection strategies and
+   worker counts. *)
+let signature t = List.map finding_signature (findings t) |> List.sort compare
 
 let equal a b = List.equal String.equal (signature a) (signature b)
 

@@ -27,6 +27,8 @@ val kind_to_string : kind -> string
 
 type phase = Fault_injection | Trace_analysis | Static_analysis | Abs_interp | Lint
 
+val phase_to_string : phase -> string
+
 type finding = {
   kind : kind;
   phase : phase;
@@ -59,6 +61,11 @@ val correctness_bugs : t -> finding list
 val performance_bugs : t -> finding list
 
 val merge : into:t -> t -> unit
+
+val finding_signature : finding -> string
+(** One finding's entry in {!signature}: the dedup key plus the full detail
+    text. The stable per-finding identity the results store keys provenance
+    records and cross-run diffs on. *)
 
 val signature : t -> string list
 (** Canonical content signature: the sorted dedup key + detail of every

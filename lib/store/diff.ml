@@ -1,0 +1,78 @@
+(** Cross-run comparison: which findings are new in run B, which were
+    fixed since run A, which persist in both. Findings are keyed by their
+    {!Mumak.Report.finding_signature} entry — the same stable identity the
+    report's differential tests compare — and every bucket is sorted by
+    that key, so the diff is byte-stable regardless of worker count or
+    combination order. *)
+
+module Json = Telemetry.Json
+
+type t = {
+  run_a : string;
+  run_b : string;
+  new_findings : Record.finding list;  (** in B but not A *)
+  fixed_findings : Record.finding list;  (** in A but not B *)
+  persisting : Record.finding list;  (** in both (B's rendering kept) *)
+}
+
+let by_signature findings =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace tbl f.Record.f_signature f) findings;
+  tbl
+
+let sorted fs =
+  List.sort (fun a b -> compare a.Record.f_signature b.Record.f_signature) fs
+
+let compute (a : Record.t) (b : Record.t) =
+  let in_a = by_signature a.Record.findings
+  and in_b = by_signature b.Record.findings in
+  {
+    run_a = a.Record.run_id;
+    run_b = b.Record.run_id;
+    new_findings =
+      sorted
+        (List.filter
+           (fun f -> not (Hashtbl.mem in_a f.Record.f_signature))
+           b.Record.findings);
+    fixed_findings =
+      sorted
+        (List.filter
+           (fun f -> not (Hashtbl.mem in_b f.Record.f_signature))
+           a.Record.findings);
+    persisting =
+      sorted
+        (List.filter (fun f -> Hashtbl.mem in_a f.Record.f_signature) b.Record.findings);
+  }
+
+let is_empty d = d.new_findings = [] && d.fixed_findings = []
+
+let to_json d =
+  let bucket fs = Json.List (List.map Record.finding_to_json fs) in
+  Json.Assoc
+    [
+      ("schema", Json.String Record.schema_name);
+      ("version", Json.Int Record.schema_version);
+      ("type", Json.String "diff");
+      ("run_a", Json.String d.run_a);
+      ("run_b", Json.String d.run_b);
+      ("new", bucket d.new_findings);
+      ("fixed", bucket d.fixed_findings);
+      ("persisting", bucket d.persisting);
+    ]
+
+let pp ppf d =
+  Fmt.pf ppf "diff %s -> %s@." d.run_a d.run_b;
+  Fmt.pf ppf "%d new, %d fixed, %d persisting@."
+    (List.length d.new_findings)
+    (List.length d.fixed_findings)
+    (List.length d.persisting);
+  let pp_bucket label fs =
+    List.iter
+      (fun f ->
+        Fmt.pf ppf "  %s [%s] %s: %s@." label f.Record.f_phase f.Record.f_kind
+          f.Record.f_detail)
+      fs
+  in
+  pp_bucket "+" d.new_findings;
+  pp_bucket "-" d.fixed_findings;
+  pp_bucket "=" d.persisting

@@ -1,0 +1,160 @@
+(** The causal chain behind one finding, reconstructed from its provenance
+    record: what was injected (or which analysis nominated it), the trace
+    window around the offending instruction, the witness, the
+    crash-vs-recovered image diff and the verdict. Rendered both as text
+    for humans and as JSONL records for tooling. *)
+
+module Json = Telemetry.Json
+
+(** Resolve a finding inside a run record by finding-id prefix, exact
+    signature, or 1-based index. *)
+let find (record : Record.t) selector =
+  let pairs = List.combine record.Record.findings record.Record.provenance in
+  let by_index =
+    match int_of_string_opt selector with
+    | Some n when n >= 1 && n <= List.length pairs -> Some (List.nth pairs (n - 1))
+    | _ -> None
+  in
+  match by_index with
+  | Some pair -> Ok pair
+  | None -> (
+      match
+        List.filter
+          (fun (f, _) ->
+            String.equal f.Record.f_signature selector
+            || String.starts_with ~prefix:selector f.Record.f_id)
+          pairs
+      with
+      | [ pair ] -> Ok pair
+      | [] ->
+          Error
+            (Printf.sprintf "no finding matches %S in run %s" selector
+               record.Record.run_id)
+      | several ->
+          Error
+            (Printf.sprintf "ambiguous finding selector %S (%d matches)" selector
+               (List.length several)))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL causal chain                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let chain (record : Record.t) ((f : Record.finding), (p : Mumak.Provenance.t)) =
+  let tag name fields = Json.Assoc (("record", Json.String name) :: fields) in
+  List.concat
+    [
+      [
+        tag "finding"
+          [
+            ("run", Json.String record.Record.run_id);
+            ("id", Json.String f.Record.f_id);
+            ("kind", Json.String f.Record.f_kind);
+            ("phase", Json.String f.Record.f_phase);
+            ("detail", Json.String f.Record.f_detail);
+          ];
+      ];
+      (match p.Mumak.Provenance.p_failure_point with
+      | None -> []
+      | Some fp ->
+          [
+            tag "failure_point"
+              [
+                ( "path",
+                  Json.List
+                    (List.map (fun s -> Json.String s) fp.Mumak.Provenance.fp_path) );
+                ("op_index", Json.Int fp.Mumak.Provenance.fp_op_index);
+                ("ordinal", Json.Int fp.Mumak.Provenance.fp_ordinal);
+                ( "pseq",
+                  match fp.Mumak.Provenance.fp_pseq with
+                  | None -> Json.Null
+                  | Some n -> Json.Int n );
+              ];
+          ]);
+      (match p.Mumak.Provenance.p_window with
+      | [] -> []
+      | window ->
+          [
+            tag "trace_window"
+              [ ("events", Json.List (List.map (fun l -> Json.String l) window)) ];
+          ]);
+      [ tag "witness" [ ("text", Json.String p.Mumak.Provenance.p_witness) ] ];
+      (match p.Mumak.Provenance.p_image_diff with
+      | None -> []
+      | Some d ->
+          [
+            tag "image_diff"
+              [
+                ("differing_lines", Json.Int d.Mumak.Provenance.id_differing);
+                ("capped", Json.Bool d.Mumak.Provenance.id_capped);
+                ( "lines",
+                  Json.List
+                    (List.map
+                       (fun l ->
+                         Json.Assoc
+                           [
+                             ("line", Json.Int l.Mumak.Provenance.dl_line);
+                             ("crash", Json.String l.Mumak.Provenance.dl_crash);
+                             ("recovered", Json.String l.Mumak.Provenance.dl_recovered);
+                           ])
+                       d.Mumak.Provenance.id_lines) );
+              ];
+          ]);
+      (match p.Mumak.Provenance.p_verdict with
+      | None -> []
+      | Some v -> [ tag "verdict" [ ("text", Json.String v) ] ]);
+      (match p.Mumak.Provenance.p_fix with
+      | None -> []
+      | Some fix -> [ tag "fix" [ ("text", Json.String fix) ] ]);
+    ]
+
+let chain_to_string record pair =
+  String.concat "" (List.map (fun j -> Json.to_string j ^ "\n") (chain record pair))
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pp ppf (record, ((f : Record.finding), (p : Mumak.Provenance.t))) =
+  Fmt.pf ppf "finding %s (run %s)@." f.Record.f_id record.Record.run_id;
+  Fmt.pf ppf "  [%s] %s: %s@." f.Record.f_phase f.Record.f_kind f.Record.f_detail;
+  (match f.Record.f_path with
+  | [] -> ()
+  | path ->
+      Fmt.pf ppf "  at %s%s@." (String.concat " > " path)
+        (match f.Record.f_op_index with
+        | Some i -> Printf.sprintf " (op %d)" i
+        | None -> ""));
+  (match p.Mumak.Provenance.p_failure_point with
+  | None -> ()
+  | Some fp ->
+      Fmt.pf ppf "  injected at ordinal %d%s@." fp.Mumak.Provenance.fp_ordinal
+        (match fp.Mumak.Provenance.fp_pseq with
+        | Some n -> Printf.sprintf ", persistency index %d" n
+        | None -> ""));
+  (match p.Mumak.Provenance.p_window with
+  | [] -> ()
+  | window ->
+      Fmt.pf ppf "  trace window:@.";
+      List.iter (fun line -> Fmt.pf ppf "    %s@." line) window);
+  Fmt.pf ppf "  witness: %s@." p.Mumak.Provenance.p_witness;
+  (match p.Mumak.Provenance.p_image_diff with
+  | None -> ()
+  | Some d ->
+      Fmt.pf ppf "  image diff: %d cache line(s) differ%s@."
+        d.Mumak.Provenance.id_differing
+        (if d.Mumak.Provenance.id_capped then
+           Printf.sprintf " (first %d shown)" (List.length d.Mumak.Provenance.id_lines)
+         else "");
+      List.iter
+        (fun l ->
+          Fmt.pf ppf "    line %d (offset %#x):@.      crash:     %s@.      recovered: %s@."
+            l.Mumak.Provenance.dl_line
+            (l.Mumak.Provenance.dl_line * Mumak.Provenance.cache_line)
+            l.Mumak.Provenance.dl_crash l.Mumak.Provenance.dl_recovered)
+        d.Mumak.Provenance.id_lines);
+  (match p.Mumak.Provenance.p_verdict with
+  | None -> ()
+  | Some v -> Fmt.pf ppf "  verdict: %s@." v);
+  match p.Mumak.Provenance.p_fix with
+  | None -> ()
+  | Some fix -> Fmt.pf ppf "  suggested fix: %s@." fix

@@ -1,0 +1,91 @@
+(** Structural validator for the store's serialized records, in the same
+    spirit as [Telemetry.Jsonl.validate_string]: a document either names
+    the ["mumak.store"] schema at a known version and parses back into the
+    corresponding structure, or it is rejected with a reason. Wired into
+    [mumak validate] so CI can gate ledger artifacts. *)
+
+module Json = Telemetry.Json
+
+let ( let* ) = Result.bind
+
+let list_len j k =
+  match Option.bind (Json.member k j) Json.to_list_opt with
+  | Some l -> Ok (List.length l)
+  | None -> Error (Printf.sprintf "missing list field %S" k)
+
+let validate_diff j =
+  let* run_a =
+    match Option.bind (Json.member "run_a" j) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error "diff record without a run_a string"
+  in
+  let* run_b =
+    match Option.bind (Json.member "run_b" j) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error "diff record without a run_b string"
+  in
+  let bucket k =
+    match Option.bind (Json.member k j) Json.to_list_opt with
+    | None -> Error (Printf.sprintf "diff record without a %S list" k)
+    | Some items ->
+        let rec go n = function
+          | [] -> Ok n
+          | item :: rest ->
+              let* _ = Record.finding_of_json item in
+              go (n + 1) rest
+        in
+        go 0 items
+  in
+  let* new_count = bucket "new" in
+  let* fixed = bucket "fixed" in
+  let* persisting = bucket "persisting" in
+  Ok
+    (Printf.sprintf "store diff %s -> %s (%d new, %d fixed, %d persisting)"
+       (String.sub run_a 0 (min 12 (String.length run_a)))
+       (String.sub run_b 0 (min 12 (String.length run_b)))
+       new_count fixed persisting)
+
+(** [validate j] checks a parsed ["mumak.store"] document — a run record or
+    a diff record — and returns a one-line description of what it holds. *)
+let validate j =
+  let* schema =
+    match Option.bind (Json.member "schema" j) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error "document does not name a schema"
+  in
+  let* () =
+    if String.equal schema Record.schema_name then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* version =
+    match Option.bind (Json.member "version" j) Json.to_int_opt with
+    | Some v -> Ok v
+    | None -> Error "schema version missing or not an integer"
+  in
+  let* () =
+    if version = Record.schema_version then Ok ()
+    else Error (Printf.sprintf "unknown %s version %d" Record.schema_name version)
+  in
+  let* ty =
+    match Option.bind (Json.member "type" j) Json.to_string_opt with
+    | Some t -> Ok t
+    | None -> Error "store record without a type field"
+  in
+  match ty with
+  | "run" ->
+      let* record = Record.of_json j in
+      let* provenance = list_len j "provenance" in
+      Ok
+        (Printf.sprintf "store run %s: %s, %d finding(s), %d provenance record(s)"
+           (String.sub record.Record.run_id 0
+              (min 12 (String.length record.Record.run_id)))
+           record.Record.target
+           (List.length record.Record.findings)
+           provenance)
+  | "diff" -> validate_diff j
+  | other -> Error (Printf.sprintf "unknown store record type %S" other)
+
+let validate_string s =
+  match Json.of_string s with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> validate j

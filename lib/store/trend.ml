@@ -1,0 +1,118 @@
+(** Benchmark trend gate: compares each experiment's newest envelope
+    against the best previously recorded run and fails when wall time or
+    allocation regress beyond a multiplicative threshold plus an absolute
+    slack. The baseline is the minimum over history — a lucky fast run
+    tightens the gate, a slow run never loosens it. *)
+
+module Json = Telemetry.Json
+
+let default_factor = 1.5
+let wall_slack_seconds = 0.25
+let alloc_slack_bytes = 64e6
+
+(** Regression threshold multiplier, overridable via [MUMAK_TREND_FACTOR]. *)
+let factor () =
+  match Option.bind (Sys.getenv_opt "MUMAK_TREND_FACTOR") float_of_string_opt with
+  | Some f when f > 1.0 -> f
+  | _ -> default_factor
+
+type verdict = {
+  experiment : string;
+  samples : int;  (** envelopes recorded for this experiment *)
+  wall : float;  (** newest run *)
+  wall_baseline : float option;  (** min over prior runs *)
+  alloc : float;
+  alloc_baseline : float option;
+  regressed : bool;
+  note : string;
+}
+
+let meta_float envelope key =
+  Option.bind (Json.member "meta" envelope) (fun meta ->
+      Option.bind (Json.member key meta) Json.to_float_opt)
+
+(* Smoke-scaled runs are not comparable to full runs of the same
+   experiment; they trend as a separate series. *)
+let experiment_of envelope =
+  Option.map
+    (fun exp ->
+      match Json.member "smoke" envelope with
+      | Some (Json.Bool true) -> exp ^ " (smoke)"
+      | _ -> exp)
+    (Option.bind (Json.member "experiment" envelope) Json.to_string_opt)
+
+(** Group envelopes by experiment, preserving recording order. *)
+let by_experiment history =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun envelope ->
+      match experiment_of envelope with
+      | None -> ()
+      | Some exp ->
+          if not (Hashtbl.mem tbl exp) then order := exp :: !order;
+          Hashtbl.replace tbl exp (envelope :: Option.value (Hashtbl.find_opt tbl exp) ~default:[]))
+    history;
+  List.rev_map (fun exp -> (exp, List.rev (Hashtbl.find tbl exp))) !order
+
+let judge ~factor exp envelopes =
+  let samples = List.length envelopes in
+  let newest = List.nth envelopes (samples - 1) in
+  let wall = Option.value (meta_float newest "wall_seconds") ~default:0.0 in
+  let alloc = Option.value (meta_float newest "allocated_bytes") ~default:0.0 in
+  let prior = List.filteri (fun i _ -> i < samples - 1) envelopes in
+  let baseline key =
+    match List.filter_map (fun e -> meta_float e key) prior with
+    | [] -> None
+    | xs -> Some (List.fold_left min (List.hd xs) xs)
+  in
+  let wall_baseline = baseline "wall_seconds" in
+  let alloc_baseline = baseline "allocated_bytes" in
+  let over current base slack = current > (base *. factor) +. slack in
+  let wall_regressed =
+    match wall_baseline with
+    | Some base -> over wall base wall_slack_seconds
+    | None -> false
+  in
+  let alloc_regressed =
+    match alloc_baseline with
+    | Some base -> over alloc base alloc_slack_bytes
+    | None -> false
+  in
+  let note =
+    if samples < 2 then "no baseline yet (first recorded run)"
+    else if wall_regressed && alloc_regressed then "wall time and allocation regressed"
+    else if wall_regressed then "wall time regressed"
+    else if alloc_regressed then "allocation regressed"
+    else "within envelope"
+  in
+  {
+    experiment = exp;
+    samples;
+    wall;
+    wall_baseline;
+    alloc;
+    alloc_baseline;
+    regressed = wall_regressed || alloc_regressed;
+    note;
+  }
+
+(** Judge every experiment present in [history] (bench envelopes, oldest
+    first, as [Ledger.bench_history] returns them). *)
+let check history =
+  let factor = factor () in
+  List.map (fun (exp, envelopes) -> judge ~factor exp envelopes) (by_experiment history)
+
+let any_regressed verdicts = List.exists (fun v -> v.regressed) verdicts
+
+let pp_verdict ppf v =
+  let pp_pair current = function
+    | Some base -> Printf.sprintf "%.3f (baseline %.3f)" current base
+    | None -> Printf.sprintf "%.3f (no baseline)" current
+  in
+  Fmt.pf ppf "%-12s %s  wall %s  alloc %s  — %s"
+    v.experiment
+    (if v.regressed then "FAIL" else "ok  ")
+    (pp_pair v.wall v.wall_baseline)
+    (pp_pair v.alloc v.alloc_baseline)
+    v.note

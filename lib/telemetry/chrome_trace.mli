@@ -1,0 +1,18 @@
+(** Chrome trace-event exporter: renders a {!Collector.dump} as the JSON
+    object format loadable in Perfetto / [about://tracing].
+
+    Every span becomes one complete ("ph":"X") event with microsecond
+    timestamps rebased on the dump's earliest span; every track (= domain)
+    becomes one thread lane, named through "M" metadata events — "main"
+    for the enabling domain, "worker N" for the injection workers, so a
+    [-j 4] run shows four worker lanes under the main pipeline lane. *)
+
+val to_json : Collector.dump -> Json.t
+val to_string : Collector.dump -> string
+
+val validate : Json.t -> (int, string) result
+(** Structural validity of an (already parsed) trace file: a top-level
+    object with a [traceEvents] array whose members all carry the [ph] /
+    [ts] / [pid] / [tid] fields the trace-event format requires. Returns
+    the event count. Used by the tests and the CI telemetry-validation
+    step. *)

@@ -1,0 +1,20 @@
+(** Append-only JSONL event log with a versioned schema.
+
+    Line 1 is a header record carrying the schema name and version; every
+    following line is one self-describing record ([type] field): spans,
+    final counter values, histogram summaries. The format is the
+    machine-readable twin of the Chrome trace — grep/jq-friendly, and
+    validated structurally by {!validate_string} (the same check CI runs
+    on emitted files). *)
+
+val schema_name : string
+val schema_version : int
+
+val header : unit -> Json.t
+val records : Collector.dump -> Json.t list
+val to_string : Collector.dump -> string
+
+val validate_string : string -> (int, string) result
+(** Validate a whole JSONL document: a header line with the right schema
+    name and version, then well-formed records. Returns the number of
+    data records. *)
