@@ -1238,6 +1238,121 @@ let replay_bench () =
         Fmt.(list ~sep:comma string)
         (List.rev ids)
 
+(* Optimizer: synthesis + replay verification over the kvstore matrix.
+   Per target: plans synthesized/verified, the proven/ineffective/harmful
+   verdict tally, and — over the shipped (proven-only) bundle — projected
+   vs replay-measured events and modelled cycles saved, plus the
+   verification wall time and replay count. The run's report signature
+   must equal the same configuration with [optimize] off (the phase only
+   appends its own summary, never perturbs findings), the phase must add
+   zero target executions, and at least one kvstore must ship a proven
+   bundle that reduces persist events — each miss prints as REGRESSION. *)
+let optimize_bench () =
+  section "Optimizer: cost-priced persist transformations, replay-verified bundles";
+  bench_telemetry_begin ();
+  let ops = if smoke then 120 else 150 in
+  let wl = Workload.standard ~ops ~key_range:60 ~seed:42L in
+  let targets =
+    if smoke then [ Targets.of_redis ~workload:wl () ]
+    else
+      [
+        Targets.of_redis ~workload:wl ();
+        Targets.of_rocksdb ~workload:wl ();
+        Targets.of_pmemkv ~engine:Kvstores.Pmemkv.Cmap ~workload:wl ();
+      ]
+  in
+  let baseline_config =
+    { Mumak.Config.optimizing with Mumak.Config.optimize = false }
+  in
+  let regressions = ref [] in
+  let regress fmt = Format.kasprintf (fun s -> regressions := s :: !regressions) fmt in
+  let rows = ref [] and signature = ref [] in
+  let any_proven_reducing = ref false in
+  Fmt.pr "%-16s %6s %6s %6s %5s %5s %9s %9s %9s %8s@." "target" "plans" "verif"
+    "provn" "ineff" "harmf" "ev.proj" "ev.meas" "cyc.meas" "t.opt(s)";
+  let case ?(fit_cost = false) target =
+    let config = { Mumak.Config.optimizing with Mumak.Config.fit_cost } in
+    let r = Mumak.Engine.analyze ~config target in
+    let o = Option.get r.Mumak.Engine.opt in
+    let shipped = Analysis.Opt.shipped o in
+    let sum f = List.fold_left (fun a b -> a + f b) 0 shipped in
+    let proj_ev = sum (fun b -> b.Analysis.Opt.b_plan.Analysis.Opt.p_projected_events) in
+    let meas_ev = sum (fun b -> b.Analysis.Opt.b_measured_events) in
+    let proj_cyc = sum (fun b -> b.Analysis.Opt.b_plan.Analysis.Opt.p_projected_cycles) in
+    let meas_cyc = sum (fun b -> b.Analysis.Opt.b_measured_cycles) in
+    let t_opt = r.Mumak.Engine.opt_metrics.Mumak.Metrics.wall_seconds in
+    let name =
+      target.Mumak.Target.name ^ if fit_cost then " (fitted)" else ""
+    in
+    (* the phase must ride the shared recording: no extra executions *)
+    if r.Mumak.Engine.executions <> 1 then
+      regress "%s: optimize run cost %d executions (expected 1)" name
+        r.Mumak.Engine.executions;
+    (* shipped bundles are proven by construction; anything else is a bug *)
+    List.iter
+      (fun b ->
+        if b.Analysis.Opt.b_verdict <> Analysis.Verify_fix.Proven then
+          regress "%s: shipped bundle with verdict other than proven" name)
+      shipped;
+    (* the optimizer reads the report, never writes it *)
+    let base = Mumak.Engine.analyze ~config:baseline_config target in
+    let sound =
+      Mumak.Report.signature base.Mumak.Engine.report
+      = Mumak.Report.signature r.Mumak.Engine.report
+    in
+    if not sound then
+      regress "%s: report signature changed when optimize was enabled" name;
+    if o.Analysis.Opt.proven > 0 && meas_ev > 0 then any_proven_reducing := true;
+    signature := Mumak.Report.signature r.Mumak.Engine.report;
+    Fmt.pr "%-16s %6d %6d %6d %5d %5d %9d %9d %9d %8.2f@." name
+      o.Analysis.Opt.synthesized o.Analysis.Opt.verified o.Analysis.Opt.proven
+      o.Analysis.Opt.ineffective o.Analysis.Opt.harmful proj_ev meas_ev meas_cyc
+      t_opt;
+    rows :=
+      Telemetry.Json.Assoc
+        [
+          ("target", Telemetry.Json.String target.Mumak.Target.name);
+          ("fit_cost", Telemetry.Json.Bool fit_cost);
+          ("synthesized", Telemetry.Json.Int o.Analysis.Opt.synthesized);
+          ("verified", Telemetry.Json.Int o.Analysis.Opt.verified);
+          ("proven", Telemetry.Json.Int o.Analysis.Opt.proven);
+          ("ineffective", Telemetry.Json.Int o.Analysis.Opt.ineffective);
+          ("harmful", Telemetry.Json.Int o.Analysis.Opt.harmful);
+          ("shipped", Telemetry.Json.Int (List.length shipped));
+          ("baseline_events", Telemetry.Json.Int o.Analysis.Opt.baseline_events);
+          ("baseline_cycles", Telemetry.Json.Int o.Analysis.Opt.baseline_cycles);
+          ("projected_events_saved", Telemetry.Json.Int proj_ev);
+          ("measured_events_saved", Telemetry.Json.Int meas_ev);
+          ("projected_cycles_saved", Telemetry.Json.Int proj_cyc);
+          ("measured_cycles_saved", Telemetry.Json.Int meas_cyc);
+          ("verification_replays", Telemetry.Json.Int o.Analysis.Opt.replays);
+          ("verification_wall_seconds", Telemetry.Json.Float t_opt);
+          ("executions", Telemetry.Json.Int r.Mumak.Engine.executions);
+          ("signature_matches_baseline", Telemetry.Json.Bool sound);
+          ("metrics", phase_metrics r);
+        ]
+      :: !rows
+  in
+  List.iter case targets;
+  (* one fitted-weights row: the cost model priced from a timed replay of
+     the same recording instead of the static table *)
+  case ~fit_cost:true (Targets.of_redis ~workload:wl ());
+  if not !any_proven_reducing then
+    regress "no target shipped a proven bundle that reduces persist events";
+  write_bench ~experiment:"optimize" ~target:"kvstore-matrix"
+    ~config:Mumak.Config.optimizing ~rows:(List.rev !rows) ~signature:!signature;
+  (match List.rev !regressions with
+  | [] ->
+      Fmt.pr
+        "@.every target verified its bundle off the one shared recording; proven \
+         plans reduce persist events; reports are untouched by the phase@."
+  | rs -> List.iter (fun r -> Fmt.pr "REGRESSION: %s@." r) rs);
+  Fmt.pr
+    "@.expected shape: each kvstore ships proven fence-batching and (where one \
+     store owns a heavily-flushed region) non-temporal-conversion bundles; \
+     measured savings equal projections for pure-deletion plans; harmful \
+     candidates are reported but never shipped.@."
+
 (* ------------------------------------------------------------------ *)
 (* trend: judge the stored bench history against its baselines          *)
 (* ------------------------------------------------------------------ *)
@@ -1279,6 +1394,7 @@ let experiments =
     ("lint", lint_bench);
     ("absint", absint_bench);
     ("replay", replay_bench);
+    ("optimize", optimize_bench);
     ("micro", micro);
     ("trend", trend);
   ]

@@ -274,6 +274,94 @@ let analyze_cmd =
   let doc = "Detect crash-consistency and performance bugs in a PM application." in
   Cmd.v (Cmd.info "analyze" ~doc) analyze_term
 
+(* ------------------------------------------------------------------ *)
+(* optimize: the cost-model-driven transformation pipeline             *)
+(* ------------------------------------------------------------------ *)
+
+let optimize name ops key_range seed version_str grouped bugs fit_cost jobs progress
+    store_dir =
+  let version =
+    match version_str with
+    | "1.6" -> Pmalloc.Version.V1_6
+    | "1.8" -> Pmalloc.Version.V1_8
+    | "1.12" -> Pmalloc.Version.V1_12
+    | v -> usage_error "unknown library version %s (1.6 | 1.8 | 1.12)" v
+  in
+  let workload = Workload.standard ~ops ~key_range ~seed:(Int64.of_int seed) in
+  List.iter Bugreg.enable bugs;
+  match build_target ~name ~version ~grouped ~workload with
+  | None ->
+      usage_error "unknown target %s; available: %a" name
+        Fmt.(list ~sep:comma string)
+        registry_names
+  | Some target ->
+      let config = { Mumak.Config.optimizing with fit_cost; jobs = max 1 jobs } in
+      if progress then Telemetry.Progress.activate ();
+      let result =
+        try Mumak.Engine.analyze ~config target
+        with exn ->
+          Fmt.epr "mumak: engine error: %s@." (Printexc.to_string exn);
+          exit 2
+      in
+      Fmt.pr "%a@." Mumak.Engine.pp_result result;
+      (match result.Mumak.Engine.opt with
+      | None -> ()
+      | Some o ->
+          let shipped = Analysis.Opt.shipped o in
+          (* the scriptable summary line CI gates on *)
+          Fmt.pr "optimize: proven=%d ineffective=%d harmful=%d shipped=%d@."
+            o.Analysis.Opt.proven o.Analysis.Opt.ineffective o.Analysis.Opt.harmful
+            (List.length shipped);
+          List.iteri
+            (fun i (b : Analysis.Opt.bundle) ->
+              Fmt.pr "bundle %d: [%s] %s — saves %d event(s) / %d modelled cycle(s)@." (i + 1)
+                b.Analysis.Opt.b_plan.Analysis.Opt.p_rule
+                (Analysis.Fix.to_string b.Analysis.Opt.b_plan.Analysis.Opt.p_fix)
+                b.Analysis.Opt.b_measured_events b.Analysis.Opt.b_measured_cycles;
+              List.iter
+                (fun e -> Fmt.pr "    edit: %s@." (Pmtrace.Replay.edit_to_string e))
+                b.Analysis.Opt.b_plan.Analysis.Opt.p_edits)
+            shipped);
+      (match store_dir with
+      | None -> ()
+      | Some dir ->
+          let workload_desc =
+            Printf.sprintf "standard:ops=%d,keys=%d,seed=%d,version=%s,grouped=%b%s" ops
+              key_range seed version_str grouped
+              (match bugs with
+              | [] -> ""
+              | l -> ",bugs=" ^ String.concat "+" (List.sort compare l))
+          in
+          let record =
+            Store.Record.of_result ~target:name ~workload:workload_desc ~config result
+          in
+          let ledger = Store.Ledger.open_ ~dir () in
+          let id = Store.Ledger.append_run ledger record in
+          Fmt.pr "recorded run %s in %s@." id dir);
+      exit 0
+
+let fit_cost_arg =
+  Arg.(
+    value & flag
+    & info [ "fit-cost" ]
+        ~doc:
+          "Fit the cost model's cycle weights from a timed replay of the \
+           recording instead of the deterministic static table (only plan \
+           rankings change, never verdicts).")
+
+let optimize_cmd =
+  let doc =
+    "Synthesize persist transformations (fence batching, flush coalescing \
+     and hoisting, non-temporal and clwb conversions) over the recorded \
+     trace, rank them with the cost model, and verify each plan by replay \
+     at every failure point of the rewritten trace under both crash views. \
+     Only proven plans ship as the ranked patch bundle."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const optimize $ name_arg $ ops_arg $ key_range_arg $ seed_arg $ version_arg
+      $ grouped_arg $ bugs_arg $ fit_cost_arg $ jobs_arg $ progress_arg $ store_arg)
+
 let list_cmd =
   let doc = "List available targets and seeded bugs." in
   Cmd.v (Cmd.info "list" ~doc)
@@ -301,7 +389,29 @@ let open_ledger dir = Store.Ledger.open_ ?dir ()
 
 let short id = String.sub id 0 (min 12 (String.length id))
 
-let query store_dir target_filter kind_filter phase_filter digest_filter show_findings =
+(* The optimize-phase bundles of a recorded run, read back from the
+   ledger's phase summary. *)
+let run_bundles (r : Store.Record.t) =
+  let open Telemetry.Json in
+  match List.assoc_opt "optimize" r.Store.Record.phases with
+  | None -> None
+  | Some opt_json ->
+      Some (Option.value ~default:[] (Option.bind (member "bundles" opt_json) to_list_opt))
+
+let pp_ledger_bundle i b =
+  let open Telemetry.Json in
+  let str j k = Option.value ~default:"?" (Option.bind (member k j) to_string_opt) in
+  let num j k = Option.value ~default:0 (Option.bind (member k j) to_int_opt) in
+  let plan = Option.value ~default:(Assoc []) (member "plan" b) in
+  Fmt.pr "  bundle %d: [%s] %s %s — -%d event(s) / -%d cycle(s): %s@." (i + 1)
+    (str b "verdict") (str plan "rule") (str plan "fix") (num b "measured_events")
+    (num b "measured_cycles") (str b "detail")
+
+let query store_dir target_filter kind_filter phase_filter digest_filter fix_verdict_filter
+    show_findings show_bundles =
+  (match fix_verdict_filter with
+  | Some ("proven" | "ineffective" | "harmful") | None -> ()
+  | Some v -> usage_error "unknown fix verdict %s (proven | ineffective | harmful)" v);
   let ledger = open_ledger store_dir in
   let runs = Store.Ledger.load_all ledger in
   let contains ~needle haystack =
@@ -321,26 +431,49 @@ let query store_dir target_filter kind_filter phase_filter digest_filter show_fi
     (match kind_filter with
     | Some k -> contains ~needle:k f.Store.Record.f_kind
     | None -> true)
-    && match phase_filter with
+    && (match phase_filter with
        | Some p -> String.equal p f.Store.Record.f_phase
-       | None -> true
+       | None -> true)
+    &&
+    (* a fix-verdict filter selects findings that carry a fix whose
+       replay-backed verdict (the annotation "verdict — detail") matches *)
+    match fix_verdict_filter with
+    | None -> true
+    | Some v -> (
+        f.Store.Record.f_fix <> None
+        &&
+        match f.Store.Record.f_verdict with
+        | Some s -> String.starts_with ~prefix:v s
+        | None -> false)
   in
-  let filtering_findings = kind_filter <> None || phase_filter <> None in
+  let filtering_findings =
+    kind_filter <> None || phase_filter <> None || fix_verdict_filter <> None
+  in
   let shown = ref 0 in
   List.iter
     (fun (r : Store.Record.t) ->
       if run_matches r then begin
         let findings = List.filter finding_matches r.Store.Record.findings in
-        if (not filtering_findings) || findings <> [] then begin
+        let bundles = if show_bundles then run_bundles r else None in
+        (* --bundles narrows to runs that ran the optimize phase *)
+        if ((not filtering_findings) || findings <> []) && (not show_bundles || bundles <> None)
+        then begin
           incr shown;
           Fmt.pr "%a@." Store.Record.pp r;
           if show_findings || filtering_findings then
             List.iteri
               (fun i (f : Store.Record.finding) ->
-                Fmt.pr "  %d. %s [%s] %s: %s@." (i + 1)
+                Fmt.pr "  %d. %s [%s] %s: %s%s@." (i + 1)
                   (short f.Store.Record.f_id)
-                  f.Store.Record.f_phase f.Store.Record.f_kind f.Store.Record.f_detail)
-              findings
+                  f.Store.Record.f_phase f.Store.Record.f_kind f.Store.Record.f_detail
+                  (match f.Store.Record.f_verdict with
+                  | Some v when fix_verdict_filter <> None -> " (" ^ v ^ ")"
+                  | _ -> ""))
+              findings;
+          match bundles with
+          | None -> ()
+          | Some [] -> Fmt.pr "  (optimize phase ran, no verified bundles)@."
+          | Some bs -> List.iteri pp_ledger_bundle bs
         end
       end)
     runs;
@@ -376,10 +509,26 @@ let query_cmd =
   let findings_arg =
     Arg.(value & flag & info [ "findings" ] ~doc:"List each run's findings too.")
   in
+  let fix_verdict_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fix-verdict" ] ~docv:"VERDICT"
+          ~doc:
+            "Only findings carrying a fix whose replay-backed verdict is \
+             $(docv) (proven | ineffective | harmful). Implies --findings.")
+  in
+  let bundles_arg =
+    Arg.(
+      value & flag
+      & info [ "bundles" ]
+          ~doc:
+            "List each run's verified optimizer bundles (runs without an \
+             optimize phase are skipped).")
+  in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const query $ ledger_dir_arg $ target_arg $ kind_arg $ phase_arg $ digest_arg
-      $ findings_arg)
+      $ fix_verdict_arg $ findings_arg $ bundles_arg)
 
 let explain store_dir jsonl run_sel finding_sel =
   let ledger = open_ledger store_dir in
@@ -577,7 +726,10 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group ~default:analyze_term info
-         [ analyze_cmd; list_cmd; validate_cmd; query_cmd; explain_cmd; diff_cmd ])
+         [
+           analyze_cmd; optimize_cmd; list_cmd; validate_cmd; query_cmd; explain_cmd;
+           diff_cmd;
+         ])
   with
   | 0 -> exit 0
   | _ -> exit 2 (* cmdliner usage/parse errors all map to the error code *)

@@ -325,6 +325,10 @@ let analyze ?(eadr = false) (events : Pmtrace.Event.t list) =
     | Fix.Delete_flush _ -> sound "F"
     | Fix.Delete_fence -> sound "N"
     | Fix.Insert_flush _ | Fix.Insert_fence -> true
+    (* the transformation actions are synthesized by the optimizer, which
+       applies its own per-site soundness rules; lint never emits them *)
+    | Fix.Move_flush _ | Fix.Coalesce_flushes _ | Fix.Batch_fences _ | Fix.Convert_to_nt _
+    | Fix.Convert_to_clwb _ -> true
   in
   let findings =
     Hashtbl.fold (fun _ f acc -> f :: acc) sites []

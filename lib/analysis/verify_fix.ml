@@ -79,6 +79,19 @@ let edits_at (fix : Fix.t) ?at_op ?(with_fence = true) pseq =
   | Fix.Insert_fence -> [ Pmtrace.Replay.Insert_fence_after { pseq } ]
   | Fix.Delete_flush _ -> [ Pmtrace.Replay.Delete_flush_at { pseq } ]
   | Fix.Delete_fence -> [ Pmtrace.Replay.Delete_fence_at { pseq } ]
+  (* transformation actions at a single anchor instance; the optimizer
+     builds richer per-instance edit lists itself, this mapping is what a
+     bare (stackless) anchor stands for *)
+  | Fix.Move_flush { to_pseq; _ } -> [ Pmtrace.Replay.Move_flush_to { pseq; to_pseq } ]
+  | Fix.Coalesce_flushes _ -> [ Pmtrace.Replay.Delete_flush_at { pseq } ]
+  | Fix.Batch_fences _ -> [ Pmtrace.Replay.Delete_fence_at { pseq } ]
+  | Fix.Convert_to_nt { flush_pseq; _ } ->
+      [
+        Pmtrace.Replay.Set_store_nt { pseq };
+        Pmtrace.Replay.Delete_flush_at { pseq = flush_pseq };
+      ]
+  | Fix.Convert_to_clwb _ ->
+      [ Pmtrace.Replay.Set_flush_kind { pseq; kind = Pmem.Op.Clwb } ]
 
 let edits_of_fix (fix : Fix.t) = edits_at fix fix.Fix.seq
 
@@ -125,6 +138,9 @@ let site_pseqs (fix : Fix.t) events =
         | Fix.Delete_flush _ -> s = `Flush
         | Fix.Delete_fence -> s = `Fence
         | Fix.Insert_flush _ | Fix.Insert_fence -> true
+        | Fix.Move_flush _ | Fix.Coalesce_flushes _ | Fix.Convert_to_clwb _ -> s = `Flush
+        | Fix.Batch_fences _ -> s = `Fence
+        | Fix.Convert_to_nt _ -> s = `Store
       in
       (match
          List.filter_map
@@ -163,6 +179,11 @@ let is_delete (fix : Fix.t) =
   match fix.Fix.action with
   | Fix.Delete_flush _ | Fix.Delete_fence -> true
   | Fix.Insert_flush _ | Fix.Insert_fence -> false
+  (* every transformation action promises behaviour preservation, so it is
+     held to the deletion standard: the final persisted image must not
+     change *)
+  | Fix.Move_flush _ | Fix.Coalesce_flushes _ | Fix.Batch_fences _ | Fix.Convert_to_nt _
+  | Fix.Convert_to_clwb _ -> true
 
 (* ------------------------------------------------------------------ *)
 (* Key sets from the three checkers                                    *)
@@ -200,11 +221,15 @@ let lint_keys ?only (l : Lint.t) =
     Keys.empty l.Lint.findings
 
 (* Replay-based fault injection: enumerate the trace's failure points with
-   the [points] closure, replay once, and capture + classify the
-   program-prefix crash image of each point as it is passed — the offline
-   analogue of the snapshot injection strategy. Returns the oracle-bug key
-   set and the final (fully drained, ADR) image of the replayed run. *)
-let inject ~points ~oracle recording =
+   the [points] closure, replay once, and capture + classify the crash
+   image of each point as it is passed — the offline analogue of the
+   snapshot injection strategy. [policy] selects the crash view:
+   [Program_prefix] (the default, Mumak's graceful model) or the
+   conservative [Adr] view the optimizer's differential uses, under which
+   only fenced data survives — the view that makes deleted or deferred
+   persist instructions observable. Returns the oracle-bug key set and the
+   final (fully drained, ADR) image of the replayed run. *)
+let inject ?(policy = Pmem.Device.Program_prefix) ~points ~oracle recording =
   let evs = Pmtrace.Replay.events recording in
   let want = Hashtbl.create 64 in
   List.iter (fun (_, pseq, capture) -> Hashtbl.replace want pseq capture) (points evs);
@@ -214,7 +239,7 @@ let inject ~points ~oracle recording =
         match Hashtbl.find_opt want pseq with
         | None -> ()
         | Some capture -> (
-            let img = Pmem.Device.crash device ~policy:Pmem.Device.Program_prefix in
+            let img = Pmem.Device.crash device ~policy in
             match oracle img with
             | None -> ()
             | Some (kind, _detail) ->
@@ -224,6 +249,16 @@ let inject ~points ~oracle recording =
                     !keys))
   in
   (!keys, Pmem.Device.persisted_image device)
+
+(* A post-rewrite finding anchored at a synthesized event (stackless key,
+   "kind@#pseq") has no source location: it is the detector re-describing
+   the inserted instruction itself, not a new defect at a program site.
+   Hazards between recorded instructions keep their stacks and still
+   register. *)
+let attributable key =
+  match String.index_opt key '@' with
+  | Some i -> not (i + 1 < String.length key && key.[i + 1] = '#')
+  | None -> true
 
 (* ------------------------------------------------------------------ *)
 (* Verification                                                        *)
@@ -278,17 +313,6 @@ let verify ?invariants ~support ~confidence ~eadr
         let re_lint = Lint.analyze ~eadr norm_noload in
         let re_oracle, re_image = inject ~points ~oracle rewritten in
         replays := !replays + 3;
-        (* a post-rewrite finding anchored at a synthesized event (stackless
-           key, "kind@#pseq") has no source location: it is the detector
-           re-describing the inserted instruction itself — e.g. a pointee
-           that previously never persisted now merely co-persisting with its
-           pointer — not a new defect at a program site. Hazards between
-           recorded instructions keep their stacks and still register. *)
-        let attributable key =
-          match String.index_opt key '@' with
-          | Some i -> not (i + 1 < String.length key && key.[i + 1] = '#')
-          | None -> true
-        in
         let fresh got base =
           Keys.elements (Keys.diff got base) |> List.filter attributable
         in

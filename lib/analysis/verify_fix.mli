@@ -64,6 +64,44 @@ val expand_fix : Fix.t -> Pmtrace.Event.t list -> Pmtrace.Replay.edit list
     fence drains the inserted flush, while a synthesized one would split
     the persist epoch and break the program's own atomicity batching. *)
 
+(** {2 Shared recheck machinery}
+
+    The helpers below are the building blocks {!verify} is made of,
+    exported so the optimizer ({!Opt}) judges its transformation plans
+    with the very same differential checks. *)
+
+module Keys : Set.S with type elt = string
+
+val finding_key : string -> Pmtrace.Callstack.capture option -> int -> string
+(** Finding identity across a rewrite: kind + code path (stacks survive
+    rewriting; anchors and detail strings embed indices that shift). *)
+
+val attributable : string -> bool
+(** Whether a finding key names a program site: a stackless key
+    ("kind@#pseq") anchors at a synthesized event — the detector
+    re-describing the inserted instruction, not a new defect. *)
+
+val static_keys : correctness_only:bool -> Static.t -> Keys.t
+val lint_keys : ?only:Lint.kind -> Lint.t -> Keys.t
+
+val inject :
+  ?policy:Pmem.Device.crash_policy ->
+  points:(Pmtrace.Event.t list -> (int * int * Pmtrace.Callstack.capture) list) ->
+  oracle:(Pmem.Image.t -> (string * string) option) ->
+  Pmtrace.Replay.t ->
+  Keys.t * Pmem.Image.t
+(** Replay-based fault injection over every failure point of the given
+    recording: classify the crash image of each point under [policy]
+    ([Program_prefix] by default; the optimizer also runs the conservative
+    [Adr] view, under which only fenced data survives a crash — the view
+    that makes deleted or deferred persist instructions observable).
+    Returns the oracle-bug key set and the final fully-drained image. *)
+
+val is_delete : Fix.t -> bool
+(** Whether the fix promises behaviour preservation (deletions and every
+    transformation action), holding it to the final-image-equality
+    standard. *)
+
 val verify :
   ?invariants:Invariants.t ->
   support:int ->

@@ -91,6 +91,18 @@ type t = {
           nominees are confirmed in one batched materialization pass over
           the shared recording. Requires [absint]; ignored under
           [Snapshot]. *)
+  optimize : bool;
+      (** synthesize persist-transformation plans (fence batching, flush
+          coalescing/hoisting, non-temporal and clwb conversions) over the
+          recorded trace, price them with the cost model, and verify each
+          candidate by replay at all failure points of the rewritten trace
+          under both crash views; only proven plans ship as the ranked
+          patch bundle. Costs replays over the shared recording, never
+          extra target executions. *)
+  fit_cost : bool;
+      (** fit the optimizer's cost weights from a timed replay of the
+          recording instead of the deterministic static table; only plan
+          rankings change, never verdicts *)
 }
 
 let default =
@@ -112,6 +124,8 @@ let default =
     verify_fixes = false;
     absint = false;
     prune = false;
+    optimize = false;
+    fit_cost = false;
   }
 
 let granularity_name = function
@@ -148,6 +162,8 @@ let to_json t =
       ("verify_fixes", Bool t.verify_fixes);
       ("absint", Bool t.absint);
       ("prune", Bool t.prune);
+      ("optimize", Bool t.optimize);
+      ("fit_cost", Bool t.fit_cost);
     ]
 
 (** [default] plus the full static pipeline: dependency-graph analysis,
@@ -162,6 +178,12 @@ let linting = { default with lint = true; verify_fixes = true }
 (** The merged-trace abstract interpreter plus confirmed failure-point
     pruning over the re-execution injection loop. *)
 let path_sensitive = { default with strategy = Reexecute; absint = true; prune = true }
+
+(** The optimizer pipeline: the lint detectors and the merged-trace
+    abstract interpreter feed plan synthesis, and every plan is
+    replay-verified — all off the single shared recording, so the run
+    still costs one target execution. *)
+let optimizing = { default with lint = true; absint = true; optimize = true }
 
 (** The configuration the benchmarks use to mirror the original system's
     cost model. *)

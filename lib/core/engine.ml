@@ -38,6 +38,12 @@ type result = {
   fix_verdicts : Analysis.Verify_fix.t option;
       (** replay-backed verdict for every fix suggestion when
           [Config.verify_fixes] was on *)
+  opt : Analysis.Opt.t option;
+      (** the optimizer's verified transformation bundles when
+          [Config.optimize] was on *)
+  opt_metrics : Metrics.t;
+      (** optimize phase (synthesis + replay verification);
+          [Metrics.zero] when the phase is off *)
   first_bug_injection : int option;
       (** 1-based position in the injection schedule of the first fault
           whose oracle flagged a bug; [None] when fault injection found
@@ -123,21 +129,21 @@ let lint_kind_to_report : Analysis.Lint.kind -> Report.kind = function
   | Analysis.Lint.Redundant_fence -> Report.Redundant_fence
   | Analysis.Lint.Missing_flush -> Report.Missing_flush_warning
 
-(* The verifier is parameterized over the oracle and failure-point
-   enumerator so [Analysis] stays below the engine in the dependency
-   order; these closures plug the engine's own back in. *)
+(* The verifier and the optimizer are parameterized over the oracle and
+   failure-point enumerator so [Analysis] stays below the engine in the
+   dependency order; these closures plug the engine's own back in. *)
+let image_oracle config (target : Target.t) img =
+  let device = Pmem.Device.of_image ~eadr:config.Config.eadr img in
+  match Oracle.classify target.Target.recover device with
+  | Oracle.Consistent -> None
+  | Oracle.Unrecoverable msg -> Some (Report.kind_to_string Report.Unrecoverable_state, msg)
+  | Oracle.Crashed msg -> Some (Report.kind_to_string Report.Recovery_crash, msg)
+
 let verify_candidates config (target : Target.t) ~invariants ~noload ~loaded candidates =
-  let oracle img =
-    let device = Pmem.Device.of_image ~eadr:config.Config.eadr img in
-    match Oracle.classify target.Target.recover device with
-    | Oracle.Consistent -> None
-    | Oracle.Unrecoverable msg -> (Some (Report.kind_to_string Report.Unrecoverable_state, msg))
-    | Oracle.Crashed msg -> Some (Report.kind_to_string Report.Recovery_crash, msg)
-  in
   let points events = Fault_injection.offline_points config events in
   Analysis.Verify_fix.verify ?invariants ~support:config.Config.invariant_support
-    ~confidence:config.Config.invariant_confidence ~eadr:config.Config.eadr ~oracle ~points
-    ~noload ~loaded candidates
+    ~confidence:config.Config.invariant_confidence ~eadr:config.Config.eadr
+    ~oracle:(image_oracle config target) ~points ~noload ~loaded candidates
 
 let analyze ?(config = Config.default) (target : Target.t) =
   let report = Report.create ~target:target.Target.name in
@@ -370,6 +376,38 @@ let analyze ?(config = Config.default) (target : Target.t) =
             end)
       in
       (Some lint_r, verdicts, lv_metrics, executions)
+    end
+  in
+  (* Phase 0d (optional): the optimizer — synthesize persist-transformation
+     plans over the shared recording, price them with the cost model, and
+     verify each candidate by replay at all failure points of its rewritten
+     trace under both crash views. Pure trace interpretation: the phase
+     adds zero target executions (its static recheck runs over the
+     load-free pair, so no load-traced recording is made either). *)
+  let opt_result, opt_metrics =
+    if not config.Config.optimize then (None, Metrics.zero)
+    else begin
+      Telemetry.Progress.phase "optimize";
+      Metrics.measure (fun () ->
+          Telemetry.Collector.span ~cat:"phase" "optimize" @@ fun () ->
+          let noload = recording () in
+          let weights =
+            if config.Config.fit_cost then
+              Analysis.Cost.fit
+                (Analysis.Cost.measure ~pool_size:target.Target.pool_size
+                   (Pmtrace.Replay.events noload))
+            else Analysis.Cost.static_weights
+          in
+          let invariants =
+            Option.map (fun s -> s.Analysis.Static.invariants) static_result
+          in
+          Some
+            (Analysis.Opt.optimize ?invariants ?absint:absint_analysis ~weights
+               ~support:config.Config.invariant_support
+               ~confidence:config.Config.invariant_confidence ~eadr:config.Config.eadr
+               ~oracle:(image_oracle config target)
+               ~points:(Fault_injection.offline_points config)
+               noload))
     end
   in
   (* Phase 1+2: instrumented execution(s), failure-point tree, injection. *)
@@ -764,8 +802,11 @@ let analyze ?(config = Config.default) (target : Target.t) =
       pm_stats;
       metrics =
         Metrics.add
-          (Metrics.add (Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics) lv_metrics)
-          ai_metrics;
+          (Metrics.add
+             (Metrics.add (Metrics.add (Metrics.add fi_metrics ta_metrics) sa_metrics)
+                lv_metrics)
+             ai_metrics)
+          opt_metrics;
       fi_metrics;
       ta_metrics;
       sa_metrics;
@@ -774,6 +815,8 @@ let analyze ?(config = Config.default) (target : Target.t) =
       ai_metrics;
       lint = lint_result;
       fix_verdicts;
+      opt = opt_result;
+      opt_metrics;
       first_bug_injection = Fault_injection.injections_to_first_bug fi_result;
       worker_metrics = fi_result.Fault_injection.worker_metrics;
       trace_signature;
@@ -819,6 +862,19 @@ let pp_result ppf r =
       Fmt.pf ppf "fix verdicts: proven=%d ineffective=%d harmful=%d (%d replays)@."
         v.Analysis.Verify_fix.proven v.Analysis.Verify_fix.ineffective
         v.Analysis.Verify_fix.harmful v.Analysis.Verify_fix.replays
+  | None -> ());
+  (match r.opt with
+  | Some o ->
+      Fmt.pf ppf
+        "optimizer: %d plan(s) synthesized, %d verified: proven=%d ineffective=%d harmful=%d \
+         (%d replays; baseline %d events / %d cycles, %s weights)@."
+        o.Analysis.Opt.synthesized o.Analysis.Opt.verified o.Analysis.Opt.proven
+        o.Analysis.Opt.ineffective o.Analysis.Opt.harmful o.Analysis.Opt.replays
+        o.Analysis.Opt.baseline_events o.Analysis.Opt.baseline_cycles
+        o.Analysis.Opt.weights.Analysis.Cost.w_source;
+      List.iter
+        (fun b -> Fmt.pf ppf "  %a@." Analysis.Opt.pp_bundle b)
+        o.Analysis.Opt.bundles
   | None -> ());
   match r.worker_metrics with
   | [] -> ()

@@ -41,6 +41,13 @@ type result = {
   fix_verdicts : Analysis.Verify_fix.t option;
       (** replay-backed verdict for every fix suggestion when
           [Config.verify_fixes] was on *)
+  opt : Analysis.Opt.t option;
+      (** the optimizer's replay-verified transformation bundles when
+          [Config.optimize] was on — proven plans first, best measured
+          savings first *)
+  opt_metrics : Metrics.t;
+      (** optimize phase (synthesis + replay verification);
+          [Metrics.zero] when the phase is off *)
   first_bug_injection : int option;
       (** 1-based position in the injection schedule of the first fault
           whose oracle flagged a bug; [None] when fault injection found

@@ -251,6 +251,9 @@ type edit =
   | Insert_fence_after of { pseq : int }
   | Delete_flush_at of { pseq : int }
   | Delete_fence_at of { pseq : int }
+  | Move_flush_to of { pseq : int; to_pseq : int }
+  | Set_store_nt of { pseq : int }
+  | Set_flush_kind of { pseq : int; kind : Pmem.Op.flush_kind }
 
 let edit_to_string = function
   | Insert_flush_after { pseq; line } ->
@@ -258,31 +261,50 @@ let edit_to_string = function
   | Insert_fence_after { pseq } -> Printf.sprintf "insert fence after #%d" pseq
   | Delete_flush_at { pseq } -> Printf.sprintf "delete flush at #%d" pseq
   | Delete_fence_at { pseq } -> Printf.sprintf "delete fence at #%d" pseq
+  | Move_flush_to { pseq; to_pseq } ->
+      Printf.sprintf "move flush at #%d to after #%d" pseq to_pseq
+  | Set_store_nt { pseq } -> Printf.sprintf "make store at #%d non-temporal" pseq
+  | Set_flush_kind { pseq; kind } ->
+      Printf.sprintf "convert flush at #%d to %s" pseq (Pmem.Op.flush_kind_to_string kind)
 
 let edit_anchor = function
   | Insert_flush_after { pseq; _ }
   | Insert_fence_after { pseq }
   | Delete_flush_at { pseq }
-  | Delete_fence_at { pseq } -> pseq
+  | Delete_fence_at { pseq }
+  | Move_flush_to { pseq; _ }
+  | Set_store_nt { pseq }
+  | Set_flush_kind { pseq; _ } -> pseq
 
 (* Synthesized events get placeholder negative seqs (renumbered away by
    the rewrite) and no stack: the offline failure-point detector skips
    stackless events, so an inserted instruction never mints new failure
    points — it only changes which states the surrounding ones can
-   observe. *)
+   observe. A {e moved} event, by contrast, is the recorded instruction
+   itself repositioned: it keeps its stack (and so its failure-point
+   identity) and is re-judged at its new position by whoever replays the
+   rewritten trace. *)
 let rewrite_items items edits =
   let synth = ref 0 in
   let fresh_seq () = decr synth; !synth in
   let applied = Hashtbl.create (List.length edits) in
+  let mark ed = Hashtbl.replace applied (edit_to_string ed) () in
+  List.iter
+    (function
+      | Move_flush_to { pseq; to_pseq } when to_pseq < pseq ->
+          Fmt.failwith "Replay.rewrite: cannot move #%d backwards to #%d" pseq to_pseq
+      | _ -> ())
+    edits;
   let at p =
     List.filter (fun ed -> edit_anchor ed = p) edits
     (* flush-before-fence: an Insert_flush fix expands to flush + fence and
        the flush must precede the fence that drains it *)
     |> List.stable_sort (fun a b ->
            let rank = function
-             | Delete_flush_at _ | Delete_fence_at _ -> 0
-             | Insert_flush_after _ -> 1
-             | Insert_fence_after _ -> 2
+             | Set_store_nt _ | Set_flush_kind _ -> 0
+             | Delete_flush_at _ | Delete_fence_at _ | Move_flush_to _ -> 1
+             | Insert_flush_after _ -> 2
+             | Insert_fence_after _ -> 3
            in
            compare (rank a) (rank b))
   in
@@ -303,8 +325,12 @@ let rewrite_items items edits =
                op = Pmem.Op.Fence { kind = Pmem.Op.Sfence; pending_flushes = 0; pending_nt = 0 };
                stack = None;
              })
-    | Delete_flush_at _ | Delete_fence_at _ -> None
+    | Delete_flush_at _ | Delete_fence_at _ | Move_flush_to _ | Set_store_nt _
+    | Set_flush_kind _ -> None
   in
+  (* in-flight moves: destination anchor -> captured events, kept in source
+     order so simultaneous landings are deterministic *)
+  let landings : (int, (int * edit * item) list) Hashtbl.t = Hashtbl.create 8 in
   let pseq = ref 0 in
   let out = ref [] in
   let push x = out := x :: !out in
@@ -319,22 +345,65 @@ let rewrite_items items edits =
              advance: consulting [at] on a load would re-apply the previous
              anchor's insertions once per trailing load *)
           let here = at !pseq in
+          (* in-place conversions first, so a converted event is what a
+             delete or move at the same anchor would consume *)
+          let e =
+            List.fold_left
+              (fun (e : Event.t) ed ->
+                match (ed, e.Event.op) with
+                | Set_store_nt _, Pmem.Op.Store { addr; size; nt = false } ->
+                    mark ed;
+                    { e with Event.op = Pmem.Op.Store { addr; size; nt = true } }
+                | Set_store_nt _, Pmem.Op.Store { nt = true; _ } ->
+                    mark ed;
+                    e (* already non-temporal: idempotent *)
+                | Set_flush_kind { kind; _ }, Pmem.Op.Flush { line; dirty; volatile; _ } ->
+                    mark ed;
+                    { e with Event.op = Pmem.Op.Flush { kind; line; dirty; volatile } }
+                | _ -> e)
+              e here
+          in
           let deleted =
             List.exists
               (fun ed ->
                 match (ed, e.Event.op) with
                 | Delete_flush_at _, Pmem.Op.Flush _ | Delete_fence_at _, Pmem.Op.Fence _ ->
-                    Hashtbl.replace applied (edit_to_string ed) ();
+                    mark ed;
                     true
                 | _ -> false)
               here
           in
-          if not deleted then push item;
+          let moved =
+            (not deleted)
+            && List.exists
+                 (fun ed ->
+                   match (ed, e.Event.op) with
+                   | Move_flush_to { to_pseq; _ }, Pmem.Op.Flush _ ->
+                       let prior =
+                         Option.value ~default:[] (Hashtbl.find_opt landings to_pseq)
+                       in
+                       Hashtbl.replace landings to_pseq (prior @ [ (!pseq, ed, Ev e) ]);
+                       true
+                   | _ -> false)
+                 here
+          in
+          if (not deleted) && not moved then push (Ev e);
+          (* moved-in events land before synthesized insertions, so a flush
+             moved here is drained by a fence inserted at the same anchor *)
+          (match Hashtbl.find_opt landings !pseq with
+          | Some l ->
+              Hashtbl.remove landings !pseq;
+              List.iter
+                (fun (_, ed, it) ->
+                  mark ed;
+                  push it)
+                (List.sort (fun (a, _, _) (b, _, _) -> compare a b) l)
+          | None -> ());
           List.iter
             (fun ed ->
               match synth_of ed with
               | Some s ->
-                  Hashtbl.replace applied (edit_to_string ed) ();
+                  mark ed;
                   push s
               | None -> ())
             here)

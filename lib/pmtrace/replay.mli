@@ -82,6 +82,21 @@ type edit =
       (** insert [sfence] right after the anchor event *)
   | Delete_flush_at of { pseq : int }  (** drop the flush at the anchor *)
   | Delete_fence_at of { pseq : int }  (** drop the fence at the anchor *)
+  | Move_flush_to of { pseq : int; to_pseq : int }
+      (** reposition the flush at the anchor to right after the (later)
+          event at [to_pseq] — both indices in {e original} coordinates.
+          The moved event keeps its stack, so its failure-point identity
+          survives the move and is re-judged at the new position. Several
+          flushes moved to one destination land in source order, before
+          any synthesized insertion at that anchor (an inserted fence
+          there drains them). Backward moves raise. *)
+  | Set_store_nt of { pseq : int }
+      (** make the store at the anchor non-temporal (idempotent on an NT
+          store); its payload is preserved *)
+  | Set_flush_kind of { pseq : int; kind : Pmem.Op.flush_kind }
+      (** change the flush instruction at the anchor (e.g. clflush ->
+          clwb); conversions apply before any delete or move at the same
+          anchor *)
 
 val edit_to_string : edit -> string
 

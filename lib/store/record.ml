@@ -93,6 +93,7 @@ let of_result ~target ~workload ~(config : Mumak.Config.t)
         ("trace_analysis", Mumak.Metrics.to_json result.Mumak.Engine.ta_metrics);
         ("static_analysis", Mumak.Metrics.to_json result.Mumak.Engine.sa_metrics);
         ("abs_interp", Mumak.Metrics.to_json result.Mumak.Engine.ai_metrics);
+        ("optimize", Mumak.Metrics.to_json result.Mumak.Engine.opt_metrics);
       ]
   in
   let phases =
@@ -111,6 +112,9 @@ let of_result ~target ~workload ~(config : Mumak.Config.t)
         | None -> []);
         (match result.Mumak.Engine.fix_verdicts with
         | Some v -> [ ("verify_fix", Analysis.Verify_fix.to_json v) ]
+        | None -> []);
+        (match result.Mumak.Engine.opt with
+        | Some o -> [ ("optimize", Analysis.Opt.to_json o) ]
         | None -> []);
       ]
   in

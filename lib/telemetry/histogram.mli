@@ -45,3 +45,7 @@ val to_json : t -> Json.t
 (** Summary encoding used by the JSONL export and the bench result files:
     count, sum, extrema, mean, approximate p50/p90/p99, and the non-empty
     buckets as [[index, count]] pairs. *)
+
+val of_json : Json.t -> t option
+(** Inverse of {!to_json} (counts, sum, extrema and buckets round-trip
+    exactly); [None] on a malformed or inconsistent document. *)

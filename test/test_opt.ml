@@ -1,0 +1,469 @@
+(* Tests for the optimizer pipeline (cost model + plan synthesis + replay
+   verification):
+   - cost model: static weights, fit anchoring on the clwb mean, unsampled
+     classes keeping their static weight, JSON round-trip;
+   - synthesis on synthetic traces with one planted opportunity per rule
+     (batch_fences, coalesce_flushes, move_flush, convert_to_nt,
+     convert_to_clwb — the last never fires on the kvstore matrix, so only
+     a synthetic trace covers it);
+   - end-to-end optimize() on synthetic recordings: proven verdicts for
+     safe rewrites, deterministic plan order;
+   - qcheck: Replay.rewrite edit composition — renumbering stays
+     consecutive under overlapping move+delete sets, edit-list order is
+     irrelevant, and rewritten traces survive arena serialization
+     byte-for-byte;
+   - the engine differential on a kvstore: >=1 proven bundle, zero harmful
+     shipped, executions stay 1, and the report signature is byte-identical
+     to the same run with the optimizer off. *)
+
+module Replay = Pmtrace.Replay
+module Opt = Analysis.Opt
+module Cost = Analysis.Cost
+
+let pool_size = 1 lsl 16
+
+(* --- synthetic trace construction ---------------------------------- *)
+
+let cap path op_index = { Pmtrace.Callstack.path; op_index }
+
+let mk_events ops =
+  List.mapi
+    (fun i (op, stack) -> { Pmtrace.Event.seq = i + 1; op; stack })
+    ops
+
+let store ?(nt = false) ?stack addr size = (Pmem.Op.Store { addr; size; nt }, stack)
+
+let flush ?(kind = Pmem.Op.Clwb) ?stack line =
+  (Pmem.Op.Flush { kind; line; dirty = true; volatile = false }, stack)
+
+let fence ?stack () =
+  (Pmem.Op.Fence { kind = Pmem.Op.Sfence; pending_flushes = 0; pending_nt = 0 }, stack)
+
+(* Flush [dirty]/[volatile] bits and fence pending counts above are
+   placeholders; the device recomputes them. *)
+let normalized ops =
+  Replay.normalize_events ~pool_size (mk_events ops)
+
+let plans_of ops = Opt.synthesize ~weights:Cost.static_weights (normalized ops)
+
+let rules plans = List.map (fun p -> p.Opt.p_rule) plans
+
+(* --- cost model ----------------------------------------------------- *)
+
+let test_static_weights () =
+  let w = Cost.static_weights in
+  let cycles op = Cost.op_cycles w op in
+  Alcotest.(check int) "store" w.Cost.w_store
+    (cycles (Pmem.Op.Store { addr = 0; size = 8; nt = false }));
+  Alcotest.(check int) "nt store" w.Cost.w_nt_store
+    (cycles (Pmem.Op.Store { addr = 0; size = 8; nt = true }));
+  Alcotest.(check int) "clwb" w.Cost.w_clwb
+    (cycles (Pmem.Op.Flush { kind = Pmem.Op.Clwb; line = 0; dirty = true; volatile = false }));
+  Alcotest.(check int) "clflush" w.Cost.w_clflush
+    (cycles (Pmem.Op.Flush { kind = Pmem.Op.Clflush; line = 0; dirty = true; volatile = false }));
+  Alcotest.(check int) "sfence" w.Cost.w_sfence
+    (cycles (Pmem.Op.Fence { kind = Pmem.Op.Sfence; pending_flushes = 0; pending_nt = 0 }));
+  Alcotest.(check int) "loads are free" 0
+    (cycles (Pmem.Op.Load { addr = 0; size = 8 }));
+  Alcotest.(check string) "source" "static" w.Cost.w_source;
+  (* the lint anchors: optimizer projections and lint estimates share a scale *)
+  Alcotest.(check int) "clwb matches lint's flush estimate" 250 w.Cost.w_clwb;
+  Alcotest.(check int) "sfence matches lint's fence estimate" 30 w.Cost.w_sfence
+
+let test_fit () =
+  Alcotest.(check bool) "empty fit is the static table" true
+    (Cost.fit [] = Cost.static_weights);
+  let hist samples =
+    let h = Telemetry.Histogram.create () in
+    List.iter (Telemetry.Histogram.observe h) samples;
+    h
+  in
+  (* clwb sampled at mean 500ns anchors the scale at 250/500; a clflush
+     mean of 1000ns then lands on 500 cycles *)
+  let w =
+    Cost.fit [ ("cost.clwb_ns", hist [ 400; 600 ]); ("cost.clflush_ns", hist [ 1000 ]) ]
+  in
+  Alcotest.(check string) "source" "fitted" w.Cost.w_source;
+  Alcotest.(check int) "anchor class keeps its static weight" 250 w.Cost.w_clwb;
+  Alcotest.(check int) "sampled class rescales off the anchor" 500 w.Cost.w_clflush;
+  Alcotest.(check int) "unsampled class keeps its static weight"
+    Cost.static_weights.Cost.w_sfence w.Cost.w_sfence
+
+let test_measure_and_trace_cycles () =
+  let evs =
+    normalized
+      [ store 0 8; flush 0; fence (); store 64 8; flush ~kind:Pmem.Op.Clflush 1; fence () ]
+  in
+  let w = Cost.static_weights in
+  Alcotest.(check int) "trace_cycles sums the per-op weights"
+    ((2 * w.Cost.w_store) + w.Cost.w_clwb + w.Cost.w_clflush + (2 * w.Cost.w_sfence))
+    (Cost.trace_cycles w evs);
+  let hists = Cost.measure ~pool_size evs in
+  List.iter
+    (fun cls ->
+      match List.assoc_opt cls hists with
+      | Some h -> Alcotest.(check bool) (cls ^ " sampled") true (h.Telemetry.Histogram.count > 0)
+      | None -> Alcotest.failf "measure recorded no %s histogram" cls)
+    [ "cost.store_ns"; "cost.clwb_ns"; "cost.clflush_ns"; "cost.sfence_ns" ];
+  (* fitted weights from a measured pass still price every op positively *)
+  let fitted = Cost.fit hists in
+  Alcotest.(check bool) "fitted weights stay positive" true
+    (Cost.trace_cycles fitted evs > 0)
+
+(* --- synthesis rules ------------------------------------------------ *)
+
+let test_rule_batch_fences () =
+  let f1 = cap [ "main"; "commit" ] 4 and f2 = cap [ "main"; "commit" ] 9 in
+  let plans =
+    plans_of
+      [
+        store 0 8; flush ~stack:(cap [ "main" ] 2) 0; fence ~stack:f1 (); fence ~stack:f2 ();
+      ]
+  in
+  Alcotest.(check (list string)) "one batching plan" [ "batch_fences" ] (rules plans);
+  let p = List.hd plans in
+  Alcotest.(check int) "one instance" 1 p.Opt.p_instances;
+  Alcotest.(check bool) "deletes the first fence of the pair" true
+    (p.Opt.p_edits = [ Replay.Delete_fence_at { pseq = 3 } ])
+
+let test_rule_batch_fences_negative () =
+  (* distinct frame paths: no batching opportunity *)
+  let f1 = cap [ "main"; "commit" ] 4 and f2 = cap [ "main"; "flush_log" ] 9 in
+  let plans =
+    plans_of
+      [
+        store 0 8; flush ~stack:(cap [ "main" ] 2) 0; fence ~stack:f1 (); fence ~stack:f2 ();
+      ]
+  in
+  Alcotest.(check (list string)) "no plan across frames" [] (rules plans)
+
+let test_rule_coalesce () =
+  (* two sites flush the same line in one epoch; the later site survives *)
+  let a = cap [ "main"; "update_a" ] 2 and b = cap [ "main"; "update_b" ] 5 in
+  let plans =
+    plans_of
+      [ store 0 8; flush ~stack:a 0; store 0 8; flush ~stack:b 0; fence ~stack:(cap [ "main" ] 7) () ]
+  in
+  Alcotest.(check (list string)) "one coalesce plan" [ "coalesce_flushes" ] (rules plans);
+  let p = List.hd plans in
+  Alcotest.(check bool) "deletes the earlier site's capture" true
+    (p.Opt.p_edits = [ Replay.Delete_flush_at { pseq = 2 } ])
+
+let test_rule_move () =
+  (* one site flushes the same line per iteration; a store follows the
+     surviving capture, so the plan both deletes and moves *)
+  let site = cap [ "main"; "append" ] 3 in
+  let plans =
+    plans_of
+      [
+        store 0 8; flush ~stack:site 0; store 0 8; flush ~stack:site 0; store 0 8;
+        fence ~stack:(cap [ "main" ] 9) ();
+      ]
+  in
+  Alcotest.(check (list string)) "one move plan" [ "move_flush" ] (rules plans);
+  let p = List.hd plans in
+  Alcotest.(check bool) "deletes the first capture and moves the survivor" true
+    (p.Opt.p_edits
+    = [ Replay.Delete_flush_at { pseq = 2 }; Replay.Move_flush_to { pseq = 4; to_pseq = 5 } ])
+
+let test_rule_convert_nt () =
+  (* sole writer of two lines, both captured afterwards, epoch fenced *)
+  let s = cap [ "main"; "write_buf" ] 1 in
+  let plans =
+    plans_of
+      [
+        store ~stack:s 0 128;
+        flush ~stack:(cap [ "main"; "persist" ] 4) 0;
+        flush ~stack:(cap [ "main"; "persist" ] 4) 1;
+        fence ~stack:(cap [ "main" ] 6) ();
+      ]
+  in
+  Alcotest.(check (list string)) "one conversion plan" [ "convert_to_nt" ] (rules plans);
+  let p = List.hd plans in
+  Alcotest.(check bool) "converts the store and drops both captures" true
+    (p.Opt.p_edits
+    = [
+        Replay.Set_store_nt { pseq = 1 }; Replay.Delete_flush_at { pseq = 2 };
+        Replay.Delete_flush_at { pseq = 3 };
+      ]);
+  Alcotest.(check int) "removes two events" 2 p.Opt.p_projected_events;
+  (* a second writer of the same line kills the rule *)
+  let plans =
+    plans_of
+      [
+        store ~stack:s 0 128; store ~stack:(cap [ "main"; "other" ] 9) 0 8;
+        flush ~stack:(cap [ "main"; "persist" ] 4) 0;
+        flush ~stack:(cap [ "main"; "persist" ] 4) 1;
+        fence ~stack:(cap [ "main" ] 6) ();
+      ]
+  in
+  Alcotest.(check bool) "not the sole writer: no conversion" true
+    (not (List.mem "convert_to_nt" (rules plans)))
+
+let test_rule_convert_clwb () =
+  let f = cap [ "main"; "persist" ] 3 in
+  let plans =
+    plans_of
+      [ store 0 8; flush ~kind:Pmem.Op.Clflush ~stack:f 0; fence ~stack:(cap [ "main" ] 5) () ]
+  in
+  Alcotest.(check (list string)) "one downgrade plan" [ "convert_to_clwb" ] (rules plans);
+  let p = List.hd plans in
+  Alcotest.(check bool) "swaps the instruction" true
+    (p.Opt.p_edits = [ Replay.Set_flush_kind { pseq = 2; kind = Pmem.Op.Clwb } ]);
+  Alcotest.(check int) "removes no event" 0 p.Opt.p_projected_events;
+  Alcotest.(check int) "saves the clflush-clwb delta"
+    (Cost.static_weights.Cost.w_clflush - Cost.static_weights.Cost.w_clwb)
+    p.Opt.p_projected_cycles;
+  (* an unfenced epoch blocks the downgrade *)
+  let plans = plans_of [ store 0 8; flush ~kind:Pmem.Op.Clflush ~stack:f 0 ] in
+  Alcotest.(check (list string)) "no plan without a closing fence" [] (rules plans)
+
+let test_synthesis_deterministic () =
+  let site = cap [ "main"; "append" ] 3 in
+  let ops =
+    [
+      store 0 8; flush ~stack:site 0; store 0 8; flush ~stack:site 0;
+      store ~stack:(cap [ "main"; "write_buf" ] 1) 128 64;
+      flush ~stack:(cap [ "main"; "persist" ] 4) 2;
+      fence ~stack:(cap [ "main"; "commit" ] 7) (); fence ~stack:(cap [ "main"; "commit" ] 9) ();
+    ]
+  in
+  let a = plans_of ops and b = plans_of ops in
+  Alcotest.(check bool) "synthesis is deterministic" true (a = b);
+  Alcotest.(check bool) "plans are ranked best projection first" true
+    (let rec sorted = function
+       | x :: (y :: _ as rest) ->
+           x.Opt.p_projected_cycles >= y.Opt.p_projected_cycles && sorted rest
+       | _ -> true
+     in
+     sorted a)
+
+(* --- end-to-end optimize() on synthetic recordings ------------------ *)
+
+let optimize_events ops =
+  let evs = mk_events ops in
+  let noload = Replay.of_events ~pool_size evs in
+  Opt.optimize ~weights:Cost.static_weights ~support:3 ~confidence:0.9 ~eadr:false
+    ~oracle:(fun _ -> None)
+    ~points:(Mumak.Fault_injection.offline_points Mumak.Config.default)
+    noload
+
+let test_optimize_proves_safe_plans () =
+  let site = cap [ "main"; "persist" ] 3 in
+  let o =
+    optimize_events
+      [ store 0 8; flush ~kind:Pmem.Op.Clflush ~stack:site 0; fence ~stack:(cap [ "main" ] 5) () ]
+  in
+  Alcotest.(check int) "one plan synthesized" 1 o.Opt.synthesized;
+  Alcotest.(check int) "proven" 1 o.Opt.proven;
+  Alcotest.(check int) "no harmful" 0 o.Opt.harmful;
+  let b = List.hd (Opt.shipped o) in
+  Alcotest.(check int) "cycles saved are replay-measured"
+    (Cost.static_weights.Cost.w_clflush - Cost.static_weights.Cost.w_clwb)
+    b.Opt.b_measured_cycles;
+  Alcotest.(check int) "no events removed" 0 b.Opt.b_measured_events
+
+let test_optimize_batch_and_tally () =
+  let f1 = cap [ "main"; "commit" ] 4 and f2 = cap [ "main"; "commit" ] 9 in
+  let o =
+    optimize_events
+      [
+        store 0 8; flush ~stack:(cap [ "main" ] 2) 0; fence ~stack:f1 (); fence ~stack:f2 ();
+      ]
+  in
+  Alcotest.(check int) "proven" 1 o.Opt.proven;
+  Alcotest.(check int) "verified = synthesized below the cap" o.Opt.synthesized o.Opt.verified;
+  (* two baseline injection passes plus three replays per verified plan *)
+  Alcotest.(check int) "replay accounting" (2 + (3 * o.Opt.verified)) o.Opt.replays;
+  let b = List.hd (Opt.shipped o) in
+  Alcotest.(check int) "one fence removed" 1 b.Opt.b_measured_events;
+  Alcotest.(check bool) "pure deletion: measured equals projected" true
+    (b.Opt.b_measured_cycles = b.Opt.b_plan.Opt.p_projected_cycles)
+
+(* --- qcheck: rewrite edit composition ------------------------------- *)
+
+(* A random well-formed epoch sequence: each epoch stores to a few lines,
+   flushes each dirtied line (possibly repeatedly), and closes with a
+   fence. Stacks are synthesized per position so every event is a
+   failure-point candidate. *)
+let gen_trace =
+  QCheck.Gen.(
+    let epoch epoch_idx =
+      list_size (int_range 1 4) (int_range 0 7) >>= fun lines ->
+      int_range 1 2 >>= fun repeats ->
+      let ops =
+        List.concat_map
+          (fun line ->
+            let s = store ~stack:(cap [ "main"; "op" ] (epoch_idx * 100)) (line * 64) 8 in
+            let fl =
+              List.init repeats (fun r ->
+                  flush ~stack:(cap [ "main"; "op" ] ((epoch_idx * 100) + 10 + r)) line)
+            in
+            s :: fl)
+          lines
+      in
+      return (ops @ [ fence ~stack:(cap [ "main"; "op" ] ((epoch_idx * 100) + 50)) () ])
+    in
+    int_range 1 5 >>= fun n ->
+    let rec go i acc =
+      if i >= n then return (List.concat (List.rev acc))
+      else epoch i >>= fun e -> go (i + 1) (e :: acc)
+    in
+    go 0 [])
+
+(* Random edits against the trace: delete a subset of flushes, move some
+   of the surviving flushes to the epoch's fence, delete non-final
+   fences — overlapping and adjacent anchors included by construction. *)
+let gen_edits_for evs =
+  let insts =
+    List.filteri (fun _ _ -> true) evs
+    |> List.filter_map (fun (e : Pmtrace.Event.t) ->
+           match e.Pmtrace.Event.op with Pmem.Op.Load _ -> None | op -> Some op)
+  in
+  let n = List.length insts in
+  QCheck.Gen.(
+    list_size (int_range 0 (max 1 (n / 2))) (int_range 1 n) >>= fun picks ->
+    let picks = List.sort_uniq compare picks in
+    let op_at p = List.nth insts (p - 1) in
+    let next_fence_after p =
+      let rec go i = function
+        | [] -> None
+        | Pmem.Op.Fence _ :: _ when i > p -> Some i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 1 insts
+    in
+    let edits =
+      List.filter_map
+        (fun p ->
+          match op_at p with
+          | Pmem.Op.Flush _ ->
+              if p mod 2 = 0 then Some (Replay.Delete_flush_at { pseq = p })
+              else
+                Option.map
+                  (fun d -> Replay.Move_flush_to { pseq = p; to_pseq = d - 1 })
+                  (next_fence_after p)
+          | Pmem.Op.Fence _ when p < n -> Some (Replay.Delete_fence_at { pseq = p })
+          | _ -> None)
+        picks
+    in
+    (* moving to the slot just before a fence can collide with deleting
+       that slot's flush — keep such overlaps, they are the point — but a
+       move whose source was also picked for delete is contradictory;
+       drop the move *)
+    let deleted =
+      List.filter_map (function Replay.Delete_flush_at { pseq } -> Some pseq | _ -> None) edits
+    in
+    return
+      (List.filter
+         (function
+           | Replay.Move_flush_to { pseq; to_pseq } ->
+               (not (List.mem pseq deleted)) && to_pseq > pseq
+           | _ -> true)
+         edits))
+
+let arb_trace_and_edits =
+  QCheck.make
+    ~print:(fun (evs, edits) ->
+      Printf.sprintf "%d events; edits: %s" (List.length evs)
+        (String.concat "; " (List.map Replay.edit_to_string edits)))
+    QCheck.Gen.(gen_trace >>= fun ops ->
+                let evs = mk_events ops in
+                gen_edits_for evs >>= fun edits -> return (evs, edits))
+
+let deletions =
+  List.filter (function
+    | Replay.Delete_flush_at _ | Replay.Delete_fence_at _ -> true
+    | _ -> false)
+
+let qcheck_rewrite_renumbers =
+  QCheck.Test.make ~name:"rewrite renumbers seqs consecutively from 1" ~count:200
+    arb_trace_and_edits (fun (evs, edits) ->
+      let out = Replay.rewrite_events evs edits in
+      List.length out = List.length evs - List.length (deletions edits)
+      && List.for_all2
+           (fun i (e : Pmtrace.Event.t) -> e.Pmtrace.Event.seq = i)
+           (List.init (List.length out) (fun i -> i + 1))
+           out)
+
+let qcheck_rewrite_order_free =
+  QCheck.Test.make ~name:"edit-list order never changes the rewrite" ~count:200
+    arb_trace_and_edits (fun (evs, edits) ->
+      Replay.rewrite_events evs edits = Replay.rewrite_events evs (List.rev edits))
+
+let qcheck_rewrite_arena_roundtrip =
+  QCheck.Test.make ~name:"rewritten recordings survive arena serialization" ~count:100
+    arb_trace_and_edits (fun (evs, edits) ->
+      let noload = Replay.of_events ~pool_size evs in
+      let out = Replay.events (Replay.rewrite noload edits) in
+      out = Replay.rewrite_events evs edits
+      &&
+      let tr = Pmtrace.Trace.create () in
+      List.iter (Pmtrace.Trace.add tr) out;
+      Pmtrace.Trace.to_list (Pmtrace.Trace.deserialize (Pmtrace.Trace.serialize tr)) = out)
+
+let qcheck_rewrite_normalizes =
+  QCheck.Test.make ~name:"rewritten traces normalize without error" ~count:100
+    arb_trace_and_edits (fun (evs, edits) ->
+      let out = Replay.rewrite_events evs edits in
+      List.length (Replay.normalize_events ~pool_size out) = List.length out)
+
+(* --- the engine differential on a kvstore --------------------------- *)
+
+let test_engine_kvstore () =
+  let workload = Targets.standard_workload ~ops:120 ~key_range:60 () in
+  let target () = Targets.of_redis ~workload () in
+  let r = Mumak.Engine.analyze ~config:Mumak.Config.optimizing (target ()) in
+  let o = Option.get r.Mumak.Engine.opt in
+  Alcotest.(check bool) "at least one proven bundle" true (o.Opt.proven >= 1);
+  let shipped = Opt.shipped o in
+  Alcotest.(check bool) "shipped bundles reduce persist events" true
+    (List.exists (fun b -> b.Opt.b_measured_events > 0) shipped);
+  Alcotest.(check bool) "nothing shipped is unproven" true
+    (List.for_all (fun b -> b.Opt.b_verdict = Analysis.Verify_fix.Proven) shipped);
+  Alcotest.(check int) "optimize adds zero executions" 1 r.Mumak.Engine.executions;
+  let base =
+    Mumak.Engine.analyze
+      ~config:{ Mumak.Config.optimizing with Mumak.Config.optimize = false }
+      (target ())
+  in
+  Alcotest.(check bool) "report signature untouched by the phase" true
+    (Mumak.Report.signature base.Mumak.Engine.report
+    = Mumak.Report.signature r.Mumak.Engine.report)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "opt"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "static weights" `Quick test_static_weights;
+          Alcotest.test_case "fit anchoring" `Quick test_fit;
+          Alcotest.test_case "measure + trace cycles" `Quick test_measure_and_trace_cycles;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "batch fences" `Quick test_rule_batch_fences;
+          Alcotest.test_case "batch fences: distinct frames" `Quick
+            test_rule_batch_fences_negative;
+          Alcotest.test_case "coalesce flushes" `Quick test_rule_coalesce;
+          Alcotest.test_case "move flush" `Quick test_rule_move;
+          Alcotest.test_case "convert to nt" `Quick test_rule_convert_nt;
+          Alcotest.test_case "convert to clwb" `Quick test_rule_convert_clwb;
+          Alcotest.test_case "deterministic ranking" `Quick test_synthesis_deterministic;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "proves safe plans" `Quick test_optimize_proves_safe_plans;
+          Alcotest.test_case "batch verdict + replay tally" `Quick
+            test_optimize_batch_and_tally;
+        ] );
+      ( "rewrite-qcheck",
+        [
+          qt qcheck_rewrite_renumbers;
+          qt qcheck_rewrite_order_free;
+          qt qcheck_rewrite_arena_roundtrip;
+          qt qcheck_rewrite_normalizes;
+        ] );
+      ("engine", [ Alcotest.test_case "kvstore differential" `Slow test_engine_kvstore ]);
+    ]
